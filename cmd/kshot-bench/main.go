@@ -1,0 +1,178 @@
+// Command kshot-bench regenerates the paper's evaluation artifacts —
+// every table and figure of §VI — on the simulated platform and prints
+// them (optionally into a file suitable for EXPERIMENTS.md).
+//
+// Usage:
+//
+//	kshot-bench -all                 # everything (RQ1 sweep included)
+//	kshot-bench -table2 -table3      # size sweeps only
+//	kshot-bench -fig4 -fig5 -iters 5 # figures, 5 runs averaged
+//	kshot-bench -rq1 -version 3.14   # applicability sweep on 3.14
+//	kshot-bench -overhead -patches 1000
+//
+// Output is plain text; pass -o FILE to also write it to a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kshot/internal/evalharness"
+	"kshot/internal/kcrypto"
+	"kshot/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kshot-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kshot-bench", flag.ContinueOnError)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		table1   = fs.Bool("table1", false, "Table I: benchmark suite")
+		table2   = fs.Bool("table2", false, "Table II: SGX breakdown by size")
+		table3   = fs.Bool("table3", false, "Table III: SMM breakdown by size")
+		fig4     = fs.Bool("fig4", false, "Figure 4: SGX time per CVE")
+		fig5     = fs.Bool("fig5", false, "Figure 5: SMM time per CVE")
+		table4   = fs.Bool("table4", false, "Table IV: general comparison")
+		table5   = fs.Bool("table5", false, "Table V: kernel patching comparison")
+		rq1      = fs.Bool("rq1", false, "RQ1: patch all 30 CVEs")
+		overhead = fs.Bool("overhead", false, "whole-system overhead")
+		iters    = fs.Int("iters", 3, "repetitions per measurement")
+		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
+		version  = fs.String("version", "4.4", "kernel version for -rq1")
+		outFile  = fs.String("o", "", "also write output to this file")
+		csv      = fs.Bool("csv", false, "emit figures as CSV instead of ASCII bars")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(stdout, f)
+	}
+
+	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *overhead
+	if *all || !any {
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *overhead =
+			true, true, true, true, true, true, true, true, true
+	}
+
+	if *table1 {
+		t, err := evalharness.Table1()
+		if err != nil {
+			return err
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	var sizePoints []evalharness.SizePoint
+	if *table2 || *table3 {
+		fmt.Fprintf(out, "running size sweep (%d iters per size)...\n", *iters)
+		var err error
+		sizePoints, err = evalharness.RunSizeSweep(*iters, kcrypto.HashSHA256)
+		if err != nil {
+			return err
+		}
+	}
+	if *table2 {
+		if err := evalharness.Table2(sizePoints, *iters).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if *table3 {
+		if err := evalharness.Table3(sizePoints, *iters).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *fig4 || *fig5 {
+		fmt.Fprintf(out, "running whole-system CVE measurements (%d iters per CVE)...\n", *iters)
+		points, err := evalharness.RunFigureCVEs(*iters)
+		if err != nil {
+			return err
+		}
+		render := func(f *report.Figure) error {
+			if *csv {
+				return f.RenderCSV(out)
+			}
+			return f.Render(out)
+		}
+		if *fig4 {
+			if err := render(evalharness.Figure4(points)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		if *fig5 {
+			if err := render(evalharness.Figure5(points)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *table4 {
+		if err := evalharness.Table4().Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if *table5 {
+		rows, err := evalharness.RunTable5("CVE-2014-4157")
+		if err != nil {
+			return err
+		}
+		if err := evalharness.Table5(rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *rq1 {
+		fmt.Fprintf(out, "running RQ1 sweep on kernel %s (30 CVEs)...\n", *version)
+		rows, err := evalharness.RunRQ1(*version, func(r evalharness.RQ1Row) {
+			fmt.Fprintf(out, "  %-18s pause %sus  %v\n", r.CVE, report.Us(r.PauseVirtual), r.Passed())
+		})
+		if err != nil {
+			return err
+		}
+		if err := evalharness.RQ1Table(rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *overhead {
+		fmt.Fprintf(out, "running whole-system overhead (%d-patch storm)...\n", *patches)
+		res, err := evalharness.RunOverhead(*patches, 2*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Sysbench-style workload overhead (§VI-C3):\n")
+		fmt.Fprintf(out, "  baseline:   %d ops (%.0f ops/s)\n", res.Baseline.Ops, res.Baseline.OpsPerSec())
+		fmt.Fprintf(out, "  with storm: %d ops (%.0f ops/s)\n", res.Disturbed.Ops, res.Disturbed.OpsPerSec())
+		fmt.Fprintf(out, "  wall-clock overhead: %.1f%% (simulation-bound; see EXPERIMENTS.md)\n", res.Overhead*100)
+		fmt.Fprintf(out, "  virtual OS pause per patch: %sus; pause fraction: %.3f%%\n",
+			report.Us(res.PausePerOp), res.VirtualPauseFraction*100)
+	}
+	return nil
+}

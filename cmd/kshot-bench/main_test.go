@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTable4Only(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "TABLE IV") || !strings.Contains(s, "KShot") {
+		t.Errorf("table4 output incomplete:\n%s", s)
+	}
+	if strings.Contains(s, "TABLE II") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestTable1WritesOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	var out strings.Builder
+	if err := run([]string{"-table1", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "CVE-2014-0196") {
+		t.Error("output file missing table content")
+	}
+	if out.String() == "" {
+		t.Error("stdout empty despite -o")
+	}
+}
+
+func TestFigureCSVMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-fig5", "-iters", "1", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "x,switch,key gen,decrypt,verify,apply") {
+		t.Errorf("CSV header missing:\n%.300s", s)
+	}
+	if !strings.Contains(s, "CVE-2014-4608") {
+		t.Error("CSV rows missing")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Command kshot-cvelist prints the paper's Table I: the 30-CVE
+// benchmark suite with affected functions, patch sizes, Type 1/2/3
+// classification, and the measured binary payload each patch produces
+// on the simulated kernel.
+//
+// Usage:
+//
+//	kshot-cvelist [-quick]
+//
+// -quick skips building the binary patches (no payload column).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kshot/internal/cvebench"
+	"kshot/internal/evalharness"
+	"kshot/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kshot-cvelist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kshot-cvelist", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "skip binary patch builds (omit payload column)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		t := report.NewTable("TABLE I: Types and sizes of indicative kernel security vulnerability patches",
+			"CVE Number", "Affected Functions", "Size (LoC)", "Type")
+		for _, e := range cvebench.All() {
+			t.AddRow(e.CVE, strings.Join(e.Functions, ", "), fmt.Sprintf("%d", e.SizeLoC), e.TypesString())
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		for _, e := range cvebench.All() {
+			fmt.Printf("%s: %s\n", e.CVE, e.Summary)
+		}
+		return nil
+	}
+	t, err := evalharness.Table1()
+	if err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}

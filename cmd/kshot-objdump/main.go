@@ -1,0 +1,180 @@
+// Command kshot-objdump disassembles simulated kernel images the way
+// objdump -d does for real ones: symbol table, per-function listings
+// with resolved branch targets, and (optionally) the binary diff a CVE
+// fix produces. It exists to debug patches — compare the pre and post
+// views of an affected function, or inspect the trampoline a live
+// patch would install.
+//
+// Usage:
+//
+//	kshot-objdump [-version 4.4] [-cve CVE-2014-0196] [-post] [-func name] [-symbols]
+//	kshot-objdump -cve CVE-2016-5195 -diff        # changed functions only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kshot/internal/binmatch"
+	"kshot/internal/cvebench"
+	"kshot/internal/isa"
+	"kshot/internal/kernel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kshot-objdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kshot-objdump", flag.ContinueOnError)
+	version := fs.String("version", "4.4", "kernel version (3.14 or 4.4)")
+	cve := fs.String("cve", "", "include this CVE's vulnerable subsystem")
+	post := fs.Bool("post", false, "build the post-patch kernel (requires -cve)")
+	fnName := fs.String("func", "", "disassemble only this function")
+	symbols := fs.Bool("symbols", false, "print the symbol table only")
+	diff := fs.Bool("diff", false, "print only the functions the CVE's fix changes (requires -cve)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tree, err := kernel.BaseTree(*version)
+	if err != nil {
+		return err
+	}
+	var entry *cvebench.Entry
+	if *cve != "" {
+		e, ok := cvebench.Get(*cve)
+		if !ok {
+			return fmt.Errorf("unknown CVE %q", *cve)
+		}
+		entry = e
+		tree.AddFile(e.File, e.Vuln)
+	}
+	if (*post || *diff) && entry == nil {
+		return fmt.Errorf("-post/-diff require -cve")
+	}
+
+	img, _, err := tree.Build()
+	if err != nil {
+		return err
+	}
+
+	if *diff {
+		postTree := tree.Clone()
+		if err := postTree.Apply(entry.SourcePatch()); err != nil {
+			return err
+		}
+		postImg, _, err := postTree.Build()
+		if err != nil {
+			return err
+		}
+		d, err := binmatch.DiffImages(img, postImg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "binary diff for %s on kernel %s:\n", entry.CVE, *version)
+		for _, name := range d.Changed {
+			fmt.Fprintf(out, "\n--- %s (pre-patch) ---\n", name)
+			if err := dumpFunc(out, img, name); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\n+++ %s (post-patch) +++\n", name)
+			if err := dumpFunc(out, postImg, name); err != nil {
+				return err
+			}
+		}
+		for _, name := range d.Added {
+			fmt.Fprintf(out, "\n+++ %s (new function) +++\n", name)
+			if err := dumpFunc(out, postImg, name); err != nil {
+				return err
+			}
+		}
+		if len(d.Removed) > 0 {
+			fmt.Fprintf(out, "\nremoved: %s\n", strings.Join(d.Removed, ", "))
+		}
+		return nil
+	}
+
+	if *post {
+		postTree := tree.Clone()
+		if err := postTree.Apply(entry.SourcePatch()); err != nil {
+			return err
+		}
+		img, _, err = postTree.Build()
+		if err != nil {
+			return err
+		}
+	}
+
+	if *symbols {
+		fmt.Fprintf(out, "%-16s %-8s %-6s %-7s name\n", "address", "size", "kind", "traced")
+		for _, s := range img.Symbols.All() {
+			kind := "func"
+			if s.Kind == isa.SymObject {
+				kind = "object"
+			}
+			fmt.Fprintf(out, "%#-16x %-8d %-6s %-7v %s\n", s.Addr, s.Size, kind, s.Traced, s.Name)
+		}
+		return nil
+	}
+
+	if *fnName != "" {
+		return dumpFunc(out, img, *fnName)
+	}
+	for _, s := range img.Symbols.Funcs() {
+		fmt.Fprintf(out, "\n%s:\n", s.Name)
+		if err := dumpFunc(out, img, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpFunc prints one function objdump-style: address, raw bytes,
+// mnemonic, with branch targets resolved through the symbol table.
+func dumpFunc(out io.Writer, img *isa.Image, name string) error {
+	sym, ok := img.Symbols.Lookup(name)
+	if !ok || sym.Kind != isa.SymFunc {
+		return fmt.Errorf("no function %q", name)
+	}
+	code, err := img.FuncBytes(name)
+	if err != nil {
+		return err
+	}
+	decoded, err := isa.Disassemble(code, sym.Addr)
+	if err != nil {
+		return err
+	}
+	for _, d := range decoded {
+		off := d.Addr - img.TextBase
+		raw := img.Text[off : off+uint64(d.Len)]
+		note := ""
+		if tgt, isBranch := d.BranchTarget(); isBranch {
+			if ts, ok := img.Symbols.At(tgt); ok {
+				if ts.Addr == tgt {
+					note = fmt.Sprintf("  ; -> %s", ts.Name)
+				} else {
+					note = fmt.Sprintf("  ; -> %s+%#x", ts.Name, tgt-ts.Addr)
+				}
+			} else {
+				note = fmt.Sprintf("  ; -> %#x", tgt)
+			}
+		}
+		fmt.Fprintf(out, "  %#10x:  %-22s %s%s\n", d.Addr, hexBytes(raw), d.Inst.String(), note)
+	}
+	return nil
+}
+
+func hexBytes(b []byte) string {
+	parts := make([]string, len(b))
+	for i, x := range b {
+		parts[i] = fmt.Sprintf("%02x", x)
+	}
+	return strings.Join(parts, " ")
+}

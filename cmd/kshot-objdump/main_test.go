@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSymbolsListing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-symbols"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []string{"sys_compute", "jiffies", "object", "func", "traced"} {
+		if !strings.Contains(out.String(), probe) {
+			t.Errorf("symbols output missing %q", probe)
+		}
+	}
+}
+
+func TestSingleFunctionDisassembly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-func", "sys_compute"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ret") || !strings.Contains(s, "__fentry__") {
+		t.Errorf("disassembly incomplete:\n%s", s)
+	}
+}
+
+func TestCVEDiffView(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cve", "CVE-2017-17053", "-diff"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "pre-patch") || !strings.Contains(s, "post-patch") {
+		t.Errorf("diff output missing sections:\n%.400s", s)
+	}
+	if !strings.Contains(s, "init_new_context_site1") {
+		t.Errorf("implicated call site missing from diff")
+	}
+}
+
+func TestPostKernelView(t *testing.T) {
+	var pre, post strings.Builder
+	if err := run([]string{"-cve", "CVE-2014-0196", "-func", "n_tty_write"}, &pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cve", "CVE-2014-0196", "-post", "-func", "n_tty_write"}, &post); err != nil {
+		t.Fatal(err)
+	}
+	if pre.String() == post.String() {
+		t.Error("-post produced identical disassembly")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cve", "CVE-0000-0000"}, &out); err == nil {
+		t.Error("unknown CVE accepted")
+	}
+	if err := run([]string{"-diff"}, &out); err == nil {
+		t.Error("-diff without -cve accepted")
+	}
+	if err := run([]string{"-version", "9.9", "-symbols"}, &out); err == nil {
+		t.Error("bad version accepted")
+	}
+	if err := run([]string{"-func", "nosuch"}, &out); err == nil {
+		t.Error("missing function accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Compromised kernel: live patching while a rootkit fights back
+// (§V-D "Malicious Patch Reversion").
+//
+// A kernel-resident attacker snapshots the vulnerable function entry
+// before the patch lands and restores it afterwards — against
+// kernel-trusted patching systems (kpatch/Ksplice-style) this silently
+// re-opens the hole, because both the patch and the attacker operate
+// at the same privilege. KShot's patch state lives in SMRAM: the SMM
+// introspection pass compares live kernel text against its journal,
+// detects the reversion, repairs the trampoline, and reports the
+// tampering to the operator.
+//
+//	go run ./examples/compromised
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kshot"
+)
+
+func main() {
+	entry, ok := kshot.LookupCVE("CVE-2014-0196")
+	if !ok {
+		log.Fatal("registry missing CVE-2014-0196")
+	}
+	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterPatch(entry.SourcePatch())
+
+	sys, err := kshot.NewSystem(kshot.Options{
+		Version:    "4.4",
+		ExtraFiles: map[string]string{entry.File: entry.Vuln},
+		ServerAddr: srv.Addr(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// The rootkit is already resident when the patch arrives.
+	rootkit, err := kshot.InstallRootkit(sys, entry.Functions...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rootkit installed: snapshot of vulnerable entry bytes taken")
+
+	if _, err := sys.Apply(entry.CVE); err != nil {
+		log.Fatal(err)
+	}
+	res, _ := entry.Exploit(sys.Kernel, 0)
+	fmt.Printf("after patch:            vulnerable=%v\n", res.Vulnerable)
+
+	// The attack: revert the patched entry at kernel privilege.
+	if err := rootkit.RevertPatches(); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = entry.Exploit(sys.Kernel, 0)
+	fmt.Printf("after rootkit reversion: vulnerable=%v  <-- a kernel-trusted patcher never notices\n", res.Vulnerable)
+
+	// KShot's defense: SMM introspection compares the live trampoline
+	// and mem_X payload against SMRAM-held ground truth.
+	tampered, err := sys.Protect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SMM introspection:      tampering detected=%v (repaired)\n", tampered)
+
+	res, _ = entry.Exploit(sys.Kernel, 0)
+	fmt.Printf("after repair:           vulnerable=%v\n", res.Vulnerable)
+
+	// Subsequent sweeps stay clean.
+	tampered, err = sys.Protect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("follow-up sweep:        tampering detected=%v\n", tampered)
+}

@@ -1,0 +1,114 @@
+// Consistency: activeness-checked patching (the paper's §VIII
+// "consistency model" future work, implemented).
+//
+// A patch that replaces a function while some CPU is executing inside
+// it can change semantics out from under the caller. With
+// CheckActiveness enabled, KShot's SMM handler inspects the paused
+// vCPUs — saved RIPs and a conservative stack scan for return
+// addresses — and refuses to patch a live target, returning
+// ErrTargetActive for the operator to retry. This example parks every
+// vCPU in a long-running syscall, shows the refusal, then drains the
+// calls and retries successfully.
+//
+//	go run ./examples/consistency
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"kshot"
+	"kshot/internal/smmpatch"
+)
+
+func main() {
+	entry, ok := kshot.LookupCVE("CVE-2016-7914")
+	if !ok {
+		log.Fatal("registry missing CVE-2016-7914")
+	}
+	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterPatch(entry.SourcePatch())
+
+	sys, err := kshot.NewSystem(kshot.Options{
+		Version:         "4.4",
+		NumVCPUs:        2,
+		ExtraFiles:      map[string]string{entry.File: entry.Vuln},
+		ServerAddr:      srv.Addr(),
+		CheckActiveness: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Keep a vCPU hammering the vulnerable function so the SMI is
+	// overwhelmingly likely to catch it mid-execution.
+	target := entry.Functions[0]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Repeated in-bounds writes through the vulnerable path.
+			if _, err := sys.Kernel.Call(1, target, 3, 7); err != nil {
+				log.Printf("workload: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Try until the SMI lands while the target is live (each attempt
+	// is an independent SMI; the workload occupies the function most
+	// of the time).
+	refused := 0
+	for i := 0; i < 50; i++ {
+		_, err := sys.Apply(entry.CVE)
+		if err == nil {
+			// Landed in a gap between calls — roll back and retry to
+			// demonstrate the refusal path.
+			if _, err := sys.Rollback(entry.CVE); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if errors.Is(err, smmpatch.ErrTargetActive) {
+			refused++
+			fmt.Printf("attempt %2d: refused — %v\n", i+1, err)
+			break
+		}
+		log.Fatalf("unexpected error: %v", err)
+	}
+	if refused == 0 {
+		fmt.Println("(the SMI never caught the function live; machine too fast — continuing)")
+	}
+
+	// Drain the workload and retry on a quiescent machine.
+	close(stop)
+	wg.Wait()
+	start := time.Now()
+	rep, err := sys.Apply(entry.CVE)
+	if err != nil {
+		log.Fatalf("quiescent apply: %v", err)
+	}
+	fmt.Printf("quiescent retry: patched %s in %v (OS paused %v)\n",
+		rep.ID, time.Since(start).Round(time.Millisecond), rep.Stages.SMMTotal())
+
+	res, err := entry.Exploit(sys.Kernel, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exploit after patch: vulnerable=%v\n", res.Vulnerable)
+}

@@ -1,0 +1,72 @@
+// Rollback: apply a live patch, then undo it (§V-C "Patch
+// Rollback/Update").
+//
+// The paper motivates rollback with Yin et al.'s finding that 15–24%
+// of human-written OS patches are themselves incorrect: after a
+// deployment, the operator may need to take the patch back out without
+// rebooting. KShot keeps the overwritten trampoline bytes in
+// SMM-protected storage, so the most recent patch can always be
+// reverted by another SMI.
+//
+//	go run ./examples/rollback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kshot"
+)
+
+func main() {
+	entry, ok := kshot.LookupCVE("CVE-2017-17806")
+	if !ok {
+		log.Fatal("registry missing CVE-2017-17806")
+	}
+	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterPatch(entry.SourcePatch())
+
+	sys, err := kshot.NewSystem(kshot.Options{
+		Version:    "4.4",
+		ExtraFiles: map[string]string{entry.File: entry.Vuln},
+		ServerAddr: srv.Addr(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	probe := func(label string) {
+		res, err := entry.Exploit(sys.Kernel, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s vulnerable=%v\n", label+":", res.Vulnerable)
+	}
+
+	probe("fresh kernel")
+	if _, err := sys.Apply(entry.CVE); err != nil {
+		log.Fatal(err)
+	}
+	probe("after live patch")
+	fmt.Println("applied set:", sys.Applied())
+
+	// Suppose post-deployment monitoring blames the new code: the
+	// operator sends the rollback command. The SMM handler restores
+	// the journaled entry bytes and rewinds its mem_X allocation.
+	if _, err := sys.Rollback(entry.CVE); err != nil {
+		log.Fatal(err)
+	}
+	probe("after rollback")
+	fmt.Println("applied set:", sys.Applied())
+
+	// A corrected patch can go right back in.
+	if _, err := sys.Apply(entry.CVE); err != nil {
+		log.Fatal(err)
+	}
+	probe("after re-apply")
+}

@@ -1,0 +1,3 @@
+module kshot
+
+go 1.22

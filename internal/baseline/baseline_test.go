@@ -1,0 +1,241 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kshot/internal/cvebench"
+	"kshot/internal/kernel"
+	"kshot/internal/mem"
+)
+
+func newCVETarget(t *testing.T, cve string) (*Target, *cvebench.Entry) {
+	t.Helper()
+	e, ok := cvebench.Get(cve)
+	if !ok {
+		t.Fatalf("unknown CVE %s", cve)
+	}
+	tgt, err := NewTarget("4.4", map[string]string{e.File: e.Vuln}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tgt.Close)
+	return tgt, e
+}
+
+func TestKpatchAppliesFunctionPatch(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2014-0196")
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil || !res.Vulnerable {
+		t.Fatalf("not vulnerable: %+v %v", res, err)
+	}
+	r, err := Kpatch{}.Apply(tgt, e.SourcePatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable {
+		t.Error("kpatch did not fix the bug")
+	}
+	if r.Pause <= 0 || r.Total < r.Pause || r.MemoryBytes == 0 {
+		t.Errorf("result = %+v", r)
+	}
+	// kpatch's pause includes stop_machine: it must exceed KShot's
+	// tens-of-µs SMM pause scale.
+	if r.Pause < 1*time.Millisecond {
+		t.Errorf("kpatch pause %v suspiciously small", r.Pause)
+	}
+}
+
+func TestKpatchDefeatedByRootkit(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2014-0196")
+	if _, err := tgt.InstallRootkit(e.Functions); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Kpatch{}).Apply(tgt, e.SourcePatch()); err != nil {
+		t.Fatalf("kpatch reported failure (it should silently 'succeed'): %v", err)
+	}
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable {
+		t.Error("rootkit failed to revert the kernel-trusted patch")
+	}
+}
+
+func TestKUPWholeKernelReplacement(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2016-7916")
+	// Application state in the heap must survive the update.
+	if err := tgt.M.Mem.WriteU64(mem.PrivKernel, kernel.HeapBase+128, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	r, err := KUP{}.Apply(tgt, e.SourcePatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable {
+		t.Error("KUP did not fix the bug")
+	}
+	v, err := tgt.M.Mem.ReadU64(mem.PrivKernel, kernel.HeapBase+128)
+	if err != nil || v != 0xFEED {
+		t.Errorf("application state lost across kexec: %#x, %v", v, err)
+	}
+	// KUP's pause is seconds (kexec) and its memory footprint is the
+	// checkpoint + new image — both orders of magnitude above KShot.
+	if r.Pause < time.Second {
+		t.Errorf("KUP pause %v below kexec scale", r.Pause)
+	}
+	if r.MemoryBytes < kernel.HeapSize {
+		t.Errorf("KUP memory %d below checkpoint size", r.MemoryBytes)
+	}
+}
+
+func TestKUPHijackedByRootkit(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2016-7916")
+	if _, err := tgt.InstallRootkit(e.Functions); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (KUP{}).Apply(tgt, e.SourcePatch()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable {
+		t.Error("hijacked kexec still delivered the patched kernel")
+	}
+}
+
+func TestKARMASmallPatch(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2014-4157") // 5 LoC, smallest in Table I
+	r, err := KARMA{}.Apply(tgt, e.SourcePatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable {
+		t.Error("KARMA did not fix the bug")
+	}
+	if r.Pause != 0 {
+		t.Errorf("KARMA pause = %v, want 0 (no stop_machine)", r.Pause)
+	}
+	// Sub-5µs scale for small patches (Table V).
+	if r.Total > 100*time.Microsecond {
+		t.Errorf("KARMA total %v above small-patch scale", r.Total)
+	}
+}
+
+func TestKARMARejectsLargePatch(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2016-7914") // 330 LoC
+	_, err := KARMA{}.Apply(tgt, e.SourcePatch())
+	if !errors.Is(err, ErrPatchTooLarge) {
+		t.Fatalf("got %v, want ErrPatchTooLarge", err)
+	}
+	// Nothing half-applied.
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable {
+		t.Error("rejected patch had partial effect")
+	}
+}
+
+func TestKARMARejectsDataStructureChange(t *testing.T) {
+	tgt, e := newCVETarget(t, "CVE-2014-3690") // Type 3
+	if _, err := (KARMA{}).Apply(tgt, e.SourcePatch()); !errors.Is(err, ErrPatchTooLarge) {
+		t.Fatalf("Type 3 patch not rejected: %v", err)
+	}
+}
+
+func TestKARMAInPlaceRewrite(t *testing.T) {
+	// A fix that shrinks the function rewrites it in place, consuming
+	// no module memory.
+	vuln := `
+.func tiny_check           ; (x) -> 1 always (vulnerable)
+    movi r0, 1
+    addi r0, 0
+    addi r0, 0
+    ret
+.endfunc
+`
+	fixed := `
+.func tiny_check           ; (x) -> 0 always (locked down)
+    movi r0, 0
+    ret
+.endfunc
+`
+	tgt, err := NewTarget("4.4", map[string]string{"cve/tiny.asm": vuln}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	r, err := KARMA{}.Apply(tgt, kernel.SourcePatch{ID: "TINY", Files: map[string]string{"cve/tiny.asm": fixed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemoryBytes != 0 {
+		t.Errorf("in-place rewrite consumed %d module bytes", r.MemoryBytes)
+	}
+	v, err := tgt.K.Call(0, "tiny_check", 9)
+	if err != nil || v != 0 {
+		t.Errorf("tiny_check = %d, %v; want 0", v, err)
+	}
+}
+
+func TestKUPHandlesDataStructureChange(t *testing.T) {
+	// The Type 3 patch KARMA rejects, KUP takes (whole-kernel
+	// replacement sidesteps layout compatibility).
+	tgt, e := newCVETarget(t, "CVE-2014-3690")
+	if _, err := (KUP{}).Apply(tgt, e.SourcePatch()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exploit(tgt.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable {
+		t.Error("KUP did not fix Type 3 bug")
+	}
+}
+
+func TestPatcherMetadata(t *testing.T) {
+	for _, p := range []Patcher{Kpatch{}, KUP{}, KARMA{}} {
+		if p.Name() == "" || p.Granularity() == "" || p.TCB() == "" {
+			t.Errorf("%T: empty metadata", p)
+		}
+		if !p.TrustsKernel() {
+			t.Errorf("%s claims not to trust the kernel", p.Name())
+		}
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	if _, err := NewTarget("9.9", nil, 1); err == nil {
+		t.Error("bad version accepted")
+	}
+	tgt, err := NewTarget("4.4", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	if _, err := tgt.InstallRootkit([]string{"nosuch"}); err == nil {
+		t.Error("rootkit on missing function accepted")
+	}
+	if _, _, err := tgt.BuildPatch(kernel.SourcePatch{ID: "X", Files: map[string]string{"no/file.asm": ""}}); err == nil {
+		t.Error("patch for unknown file accepted")
+	}
+}

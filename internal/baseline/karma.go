@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"fmt"
+
+	"kshot/internal/isa"
+	"kshot/internal/kernel"
+	"kshot/internal/timing"
+)
+
+// KARMAMaxPayload is the per-function payload budget of the
+// instruction-level patcher: KARMA targets small fixes applied by a
+// kernel module; large function rewrites are out of scope (§VII-C:
+// "can update new components if the patch is small").
+const KARMAMaxPayload = 512
+
+// KARMA models KARMA-style instruction-level in-kernel patching: a
+// kernel module rewrites the vulnerable instructions directly, in
+// place when the fixed code fits, via an entry redirect otherwise.
+// It is the fastest of the kernel-trusted mechanisms for small
+// patches (< 5µs in the paper's Table V) but cannot take patches that
+// outgrow its instruction budget or change data structures.
+type KARMA struct{}
+
+var _ Patcher = KARMA{}
+
+// Name implements Patcher.
+func (KARMA) Name() string { return "KARMA" }
+
+// Granularity implements Patcher.
+func (KARMA) Granularity() string { return "instruction" }
+
+// TCB implements Patcher.
+func (KARMA) TCB() string { return "whole OS kernel + patch module" }
+
+// TrustsKernel implements Patcher.
+func (KARMA) TrustsKernel() bool { return true }
+
+// Apply implements Patcher.
+func (KARMA) Apply(t *Target, sp kernel.SourcePatch) (Result, error) {
+	start := t.Clock.Now()
+	bp, _, err := t.BuildPatch(sp)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range bp.Funcs {
+		if len(bp.Funcs[i].Payload) > KARMAMaxPayload {
+			return Result{}, fmt.Errorf("%w: %s is %d bytes",
+				ErrPatchTooLarge, bp.Funcs[i].Name, len(bp.Funcs[i].Payload))
+		}
+	}
+	if len(bp.Globals) > 0 {
+		hasNew := false
+		for _, g := range bp.Globals {
+			if g.New {
+				hasNew = true
+			}
+		}
+		if hasNew {
+			// Data-structure extension is beyond instruction-level
+			// patching (§VII-C: "these methods cannot address changes
+			// to data structures").
+			return Result{}, fmt.Errorf("%w: patch adds global state", ErrPatchTooLarge)
+		}
+	}
+
+	moduleBefore := t.moduleUse
+	newFuncs := make(map[string]uint64, len(bp.Funcs))
+
+	// Decide in-place vs redirect per function.
+	type plan struct {
+		idx     int
+		inPlace bool
+		at      uint64
+	}
+	var plans []plan
+	for i := range bp.Funcs {
+		f := &bp.Funcs[i]
+		if f.New {
+			a, err := t.allocModule(len(f.Payload))
+			if err != nil {
+				return Result{}, err
+			}
+			newFuncs[f.Name] = a
+			plans = append(plans, plan{idx: i, at: a})
+			continue
+		}
+		sym, ok := t.K.Symbols().Lookup(f.Name)
+		if !ok {
+			return Result{}, fmt.Errorf("karma: no function %q", f.Name)
+		}
+		skip := uint64(0)
+		if f.Traced {
+			skip = isa.FtracePrologueLen
+		}
+		if uint64(len(f.Payload)) <= sym.Size-skip {
+			// Fixed code fits over the old body: rewrite in place.
+			newFuncs[f.Name] = sym.Addr + skip
+			plans = append(plans, plan{idx: i, inPlace: true, at: sym.Addr + skip})
+			continue
+		}
+		a, err := t.allocModule(len(f.Payload))
+		if err != nil {
+			return Result{}, err
+		}
+		newFuncs[f.Name] = a
+		plans = append(plans, plan{idx: i, at: a})
+	}
+
+	// KARMA's writes are small and atomic per instruction; it does
+	// not stop the machine.
+	t.Clock.Advance(timing.Linear(t.Model.KARMAFixed, t.Model.KARMAPerByte, bp.PayloadBytes()))
+	newGlobals := make(map[string]uint64)
+	if err := t.applyGlobals(bp, newGlobals); err != nil {
+		return Result{}, err
+	}
+	for _, p := range plans {
+		f := &bp.Funcs[p.idx]
+		if p.inPlace {
+			if err := t.writeInPlace(f, p.at, newFuncs); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		if err := t.installRedirect(f, t.K.Symbols(), newFuncs); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if rk := t.activeRootkit(); rk != nil {
+		if err := rk.Revert(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	return Result{
+		Pause:       0, // no stop_machine
+		Total:       t.Clock.Now() - start,
+		MemoryBytes: t.moduleUse - moduleBefore,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"kshot/internal/kernel"
+	"kshot/internal/timing"
+)
+
+// Kpatch models kpatch/Ksplice-style live patching: the patch is
+// prepared in userspace, loaded as a kernel module, and deployed by
+// the kernel itself — stop_machine halts every CPU, ftrace-style
+// entry hooks redirect the vulnerable functions to the module copies,
+// and execution resumes. The whole mechanism runs at kernel privilege
+// and its correctness depends on the kernel not being compromised.
+type Kpatch struct{}
+
+var _ Patcher = Kpatch{}
+
+// Name implements Patcher.
+func (Kpatch) Name() string { return "kpatch" }
+
+// Granularity implements Patcher.
+func (Kpatch) Granularity() string { return "function" }
+
+// TCB implements Patcher.
+func (Kpatch) TCB() string { return "whole OS kernel" }
+
+// TrustsKernel implements Patcher.
+func (Kpatch) TrustsKernel() bool { return true }
+
+// Apply implements Patcher.
+func (Kpatch) Apply(t *Target, sp kernel.SourcePatch) (Result, error) {
+	start := t.Clock.Now()
+
+	// Preparation (kpatch-build): runs in userspace, OS not paused.
+	bp, _, err := t.BuildPatch(sp)
+	if err != nil {
+		return Result{}, err
+	}
+	t.Clock.Advance(timing.Linear(t.Model.PrepFixed, t.Model.PrepPerByte, bp.PayloadBytes()))
+
+	// Allocate module space for payloads and new globals.
+	moduleBefore := t.moduleUse
+	newFuncs := make(map[string]uint64, len(bp.Funcs))
+	for i := range bp.Funcs {
+		a, err := t.allocModule(len(bp.Funcs[i].Payload))
+		if err != nil {
+			return Result{}, err
+		}
+		newFuncs[bp.Funcs[i].Name] = a
+	}
+
+	// stop_machine: all CPUs halt while the redirects are installed.
+	t.M.Pause()
+	pauseStart := t.Clock.Now()
+	t.Clock.Advance(timing.Linear(t.Model.KpatchStopMachine, t.Model.KpatchPerByte, bp.PayloadBytes()))
+	var applyErr error
+	newGlobals := make(map[string]uint64)
+	if err := t.applyGlobals(bp, newGlobals); err != nil {
+		applyErr = err
+	} else {
+		for k, v := range newGlobals {
+			newFuncs[k] = v
+		}
+		for i := range bp.Funcs {
+			if err := t.installRedirect(&bp.Funcs[i], t.K.Symbols(), newFuncs); err != nil {
+				applyErr = err
+				break
+			}
+		}
+	}
+	pause := t.Clock.Now() - pauseStart
+	t.M.Resume()
+	if applyErr != nil {
+		return Result{}, applyErr
+	}
+
+	// A resident kernel-level attacker sees the (kernel-driven)
+	// patching activity and reverts it. kpatch has no mechanism to
+	// notice: the deployment "succeeds" and stays silently undone —
+	// the trust failure Table IV/V's comparison highlights.
+	if rk := t.activeRootkit(); rk != nil {
+		if err := rk.Revert(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	return Result{
+		Pause:       pause,
+		Total:       t.Clock.Now() - start,
+		MemoryBytes: t.moduleUse - moduleBefore,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"fmt"
+
+	"kshot/internal/kernel"
+	"kshot/internal/mem"
+	"kshot/internal/timing"
+)
+
+// KUP models KUP-style whole-kernel replacement: checkpoint the
+// running applications, kexec into a fully rebuilt patched kernel, and
+// restore application state. It handles arbitrarily invasive patches
+// (including data-structure changes the function-level systems cannot)
+// at the cost of seconds of downtime and a large checkpoint footprint
+// — the space/time tradeoff §IV-B discusses.
+type KUP struct{}
+
+var _ Patcher = KUP{}
+
+// Name implements Patcher.
+func (KUP) Name() string { return "KUP" }
+
+// Granularity implements Patcher.
+func (KUP) Granularity() string { return "whole kernel" }
+
+// TCB implements Patcher.
+func (KUP) TCB() string { return "whole OS kernel + kexec" }
+
+// TrustsKernel implements Patcher.
+func (KUP) TrustsKernel() bool { return true }
+
+// Apply implements Patcher.
+func (KUP) Apply(t *Target, sp kernel.SourcePatch) (Result, error) {
+	start := t.Clock.Now()
+
+	// Rebuild the whole kernel with the patch.
+	post := t.preTree.Clone()
+	if err := post.Apply(sp); err != nil {
+		return Result{}, err
+	}
+	postImg, _, err := post.Build()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Checkpoint application state: user-visible memory (the heap
+	// region, where application buffers live) plus per-CPU register
+	// state. This is the storage KUP burns that KShot avoids.
+	heap := make([]byte, kernel.HeapSize)
+	if err := t.M.Mem.Read(mem.PrivKernel, kernel.HeapBase, heap); err != nil {
+		return Result{}, err
+	}
+	checkpointBytes := len(heap) + t.M.NumVCPUs()*256
+	t.Clock.Advance(timing.Linear(0, t.Model.KUPCheckpointPerByte, checkpointBytes))
+
+	// kexec: the OS stops, the new kernel image replaces the old one.
+	t.M.Pause()
+	pauseStart := t.Clock.Now()
+	t.Clock.Advance(t.Model.KUPKexecFixed)
+
+	bootImg := postImg
+	if rk := t.activeRootkit(); rk != nil {
+		// A compromised kernel controls the kexec path: the attacker
+		// swaps the staged image for the still-vulnerable one
+		// (CVE-2015-7837-style unsigned kernel load, as §VI-D2
+		// describes). The "update" boots the old kernel.
+		bootImg = t.pre.Img
+	}
+	if err := t.K.ReplaceImage(bootImg); err != nil {
+		t.M.Resume()
+		return Result{}, err
+	}
+	// Restore application state into the new kernel.
+	if err := t.M.Mem.Write(mem.PrivSMM, kernel.HeapBase, heap); err != nil {
+		t.M.Resume()
+		return Result{}, err
+	}
+	pause := t.Clock.Now() - pauseStart
+	t.M.Resume()
+
+	if _, err := t.K.Call(0, "kernel_init"); err != nil {
+		return Result{}, fmt.Errorf("kup: new kernel init: %w", err)
+	}
+
+	return Result{
+		Pause:       pause,
+		Total:       t.Clock.Now() - start,
+		MemoryBytes: uint64(checkpointBytes) + uint64(len(postImg.Text)+len(postImg.Data)),
+	}, nil
+}

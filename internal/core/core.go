@@ -1,0 +1,427 @@
+// Package core is KShot's orchestrator and public API: it assembles
+// the simulated target machine (kernel, SMM controller + patching
+// handler, SGX platform + preparation enclave), connects to the remote
+// patch server, and drives the live patching workflow of Figure 2:
+//
+//  1. the untrusted helper fetches the encrypted binary patch from the
+//     remote server;
+//  2. the SGX enclave preprocesses it against the running kernel and
+//     seals it for the SMM channel;
+//  3. the helper stages ciphertext into the reserved memory and raises
+//     an SMI;
+//  4. the SMM handler decrypts, verifies, and applies the patch on the
+//     paused machine, then resumes the OS.
+//
+// Every step the helper performs runs at user/kernel privilege against
+// access-controlled memory; every SMM step runs on a paused machine.
+// A compromised kernel can disturb the helper (a denial of service the
+// remote server detects) but cannot forge, read, or tamper with patch
+// content.
+package core
+
+import (
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"kshot/internal/kcrypto"
+	"kshot/internal/kernel"
+	"kshot/internal/machine"
+	"kshot/internal/mem"
+	"kshot/internal/patchserver"
+	"kshot/internal/sgx"
+	"kshot/internal/sgxprep"
+	"kshot/internal/smm"
+	"kshot/internal/smmpatch"
+	"kshot/internal/timing"
+)
+
+// Options configures a System.
+type Options struct {
+	// Version is the kernel version to boot ("3.14" or "4.4").
+	Version string
+
+	// NumVCPUs for the target machine (default 4).
+	NumVCPUs int
+
+	// ExtraFiles adds subsystem source files to the base tree — the
+	// vulnerable code the benchmark kernels ship with.
+	ExtraFiles map[string]string
+
+	// ServerAddr is the remote patch server's TCP address.
+	ServerAddr string
+
+	// HashAlg selects payload verification hashing (default SHA-256).
+	HashAlg kcrypto.HashAlg
+
+	// Rand is the entropy source for all key material (crypto/rand
+	// when nil; deterministic in tests).
+	Rand io.Reader
+
+	// CheckActiveness enables the SMM handler's conservative
+	// activeness check: patches to functions currently executing on
+	// (or returning into) some vCPU are refused with ErrTargetActive
+	// and can be retried.
+	CheckActiveness bool
+}
+
+// StageTimes reports the virtual time each pipeline stage consumed for
+// one patch — the measurements behind Tables II/III and Figures 4/5.
+type StageTimes struct {
+	// SGX-side stages (Table II).
+	Fetch      time.Duration
+	Preprocess time.Duration
+	Pass       time.Duration
+
+	// SMM-side stages (Table III).
+	KeyGen  time.Duration
+	Decrypt time.Duration
+	Verify  time.Duration
+	Apply   time.Duration
+	Switch  time.Duration // SMM entry + exit
+
+	// PayloadBytes is the function payload total for this patch.
+	PayloadBytes int
+}
+
+// SGXTotal is the non-blocking preparation total (Table II "Total").
+func (st StageTimes) SGXTotal() time.Duration { return st.Fetch + st.Preprocess + st.Pass }
+
+// SMMTotal is the blocking OS-pause total (Table III "Total",
+// including key generation and SMM switching).
+func (st StageTimes) SMMTotal() time.Duration {
+	return st.KeyGen + st.Decrypt + st.Verify + st.Apply + st.Switch
+}
+
+// Report is the outcome of one Apply or Rollback.
+type Report struct {
+	ID     string
+	Stages StageTimes
+}
+
+// System is a provisioned KShot deployment on one target machine.
+type System struct {
+	Machine *machine.Machine
+	Kernel  *kernel.Kernel
+	SMM     *smm.Controller
+	Handler *smmpatch.Handler
+	Clock   *timing.Clock
+	Model   timing.Model
+
+	platform *sgx.Platform
+	enclave  *sgx.Enclave
+	prog     *sgxprep.Program
+	client   *patchserver.Client
+	info     patchserver.OSInfo
+
+	helperPriv mem.Priv
+}
+
+// NewSystem boots the target machine, locks down SMM, attests and
+// loads the preparation enclave, and registers with the patch server.
+func NewSystem(opts Options) (*System, error) {
+	if opts.HashAlg == 0 {
+		opts.HashAlg = kcrypto.HashSHA256
+	}
+
+	// Build and boot the (vulnerable) kernel.
+	tree, err := kernel.BaseTree(opts.Version)
+	if err != nil {
+		return nil, err
+	}
+	extra := make([]string, 0, len(opts.ExtraFiles))
+	for name := range opts.ExtraFiles {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		tree.AddFile(name, opts.ExtraFiles[name])
+	}
+	img, _, err := tree.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel build: %w", err)
+	}
+	m, err := machine.New(machine.Config{NumVCPUs: opts.NumVCPUs})
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.Boot(m, img, tree.Config())
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	if _, err := k.Call(0, "kernel_init"); err != nil {
+		m.Stop()
+		return nil, fmt.Errorf("core: kernel init: %w", err)
+	}
+
+	clock := &timing.Clock{}
+	model := timing.Calibrated()
+
+	// Provision SMM: install the patching handler, then lock SMRAM.
+	ctrl, err := smm.NewController(m, kernel.SMRAMBase, clock, model)
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	// Status-attestation key: provisioned into SMRAM before lock and
+	// registered with the server, so deployment confirmations cannot
+	// be forged from the kernel-writable mailbox.
+	attKey := make([]byte, 32)
+	rng := opts.Rand
+	if rng == nil {
+		rng = cryptorand.Reader
+	}
+	if _, err := io.ReadFull(rng, attKey); err != nil {
+		m.Stop()
+		return nil, fmt.Errorf("core: attestation key: %w", err)
+	}
+
+	handler, err := smmpatch.New(smmpatch.Config{
+		Reserved:        k.Res,
+		KernelVersion:   opts.Version,
+		Rand:            opts.Rand,
+		CheckActiveness: opts.CheckActiveness,
+		TextBase:        kernel.TextBase,
+		TextSize:        kernel.TextRegionSize,
+		AttestationKey:  attKey,
+	})
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	if err := handler.Register(ctrl); err != nil {
+		m.Stop()
+		return nil, err
+	}
+	if err := ctrl.Lock(); err != nil {
+		m.Stop()
+		return nil, err
+	}
+
+	// Register with the patch server under the enclave's expected
+	// measurement, receiving the attested channel key.
+	info := patchserver.OSInfo{
+		Version: opts.Version,
+		Ftrace:  tree.Config().Ftrace,
+		Inline:  tree.Config().Inline,
+	}
+	client, err := patchserver.Dial(opts.ServerAddr)
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	meas := sgx.MeasureIdentity(sgxprep.Identity(opts.Version))
+	serverKey, err := client.HelloWithAttestation(info, meas, attKey)
+	if err != nil {
+		client.Close()
+		m.Stop()
+		return nil, err
+	}
+
+	// Load the preparation enclave.
+	platform, err := sgx.NewPlatform(m.Mem, kernel.EPCBase, kernel.EPCSize)
+	if err != nil {
+		client.Close()
+		m.Stop()
+		return nil, err
+	}
+	prog, err := sgxprep.New(sgxprep.Config{
+		ServerKey:     serverKey,
+		KernelVersion: opts.Version,
+		KernelSymbols: k.Symbols().All(),
+		Placement:     handler.Placement(),
+		HashAlg:       opts.HashAlg,
+		Clock:         clock,
+		Model:         model,
+		Rand:          opts.Rand,
+	})
+	if err != nil {
+		client.Close()
+		m.Stop()
+		return nil, err
+	}
+	enclave, err := platform.Load(prog, sgxprep.EnclavePages)
+	if err != nil {
+		client.Close()
+		m.Stop()
+		return nil, err
+	}
+	if enclave.Measurement() != meas {
+		enclave.Destroy()
+		client.Close()
+		m.Stop()
+		return nil, errors.New("core: loaded enclave does not match attested measurement")
+	}
+
+	s := &System{
+		Machine:    m,
+		Kernel:     k,
+		SMM:        ctrl,
+		Handler:    handler,
+		Clock:      clock,
+		Model:      model,
+		platform:   platform,
+		enclave:    enclave,
+		prog:       prog,
+		client:     client,
+		info:       info,
+		helperPriv: mem.PrivUser,
+	}
+	// Bootstrap the SMM channel key.
+	if err := ctrl.Trigger(smmpatch.CmdKeyExchange, 0); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close releases the system's resources.
+func (s *System) Close() {
+	if s.enclave != nil {
+		s.enclave.Destroy()
+	}
+	if s.client != nil {
+		_ = s.client.Close()
+	}
+	s.Machine.Stop()
+}
+
+// Apply live-patches the named CVE end to end and reports per-stage
+// times. The OS pauses only for the SMM portion.
+func (s *System) Apply(cve string) (*Report, error) {
+	st := StageTimes{}
+
+	// Stage 1: fetch the encrypted patch (untrusted helper, network).
+	var blob []byte
+	st.Fetch = s.Clock.Span(func() {
+		var err error
+		blob, err = s.client.FetchPatch(cve)
+		if err == nil {
+			s.Clock.Advance(timing.Linear(s.Model.FetchFixed, s.Model.FetchPerByte, len(blob)))
+		} else {
+			blob = nil
+		}
+	})
+	if blob == nil {
+		return nil, fmt.Errorf("core: fetch %s failed", cve)
+	}
+
+	// Stage 2: enclave preprocessing.
+	smmPub, err := smmpatch.ReadSMMPub(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return nil, fmt.Errorf("core: read SMM key: %w", err)
+	}
+	memX, data := s.Handler.Cursors()
+	args, err := sgxprep.EncodeArgs(sgxprep.PrepareArgs{
+		ServerBlob: blob,
+		SMMPub:     smmPub,
+		MemXCursor: memX,
+		DataCursor: data,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.enclave.ECall(sgxprep.FnPrepare, args)
+	if err != nil {
+		return nil, fmt.Errorf("core: enclave prepare: %w", err)
+	}
+	res, err := sgxprep.DecodeResult(out)
+	if err != nil {
+		return nil, err
+	}
+	st.Preprocess = s.prog.LastBreakdown().Preprocess
+	st.PayloadBytes = res.PayloadBytes
+
+	report, err := s.deliver(cve, res, &st, smmpatch.StatusPatched)
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// Rollback undoes the most recently applied patch (§V-C).
+func (s *System) Rollback(cve string) (*Report, error) {
+	smmPub, err := smmpatch.ReadSMMPub(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return nil, err
+	}
+	args, err := sgxprep.EncodeArgs(sgxprep.RollbackArgs{ID: cve, SMMPub: smmPub})
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.enclave.ECall(sgxprep.FnPrepareRollback, args)
+	if err != nil {
+		return nil, fmt.Errorf("core: enclave rollback: %w", err)
+	}
+	res, err := sgxprep.DecodeResult(out)
+	if err != nil {
+		return nil, err
+	}
+	st := StageTimes{Preprocess: s.prog.LastBreakdown().Preprocess}
+	return s.deliver(cve, res, &st, smmpatch.StatusRolledBack)
+}
+
+// deliver stages the sealed package and runs the SMM portion.
+func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantStatus uint32) (*Report, error) {
+	// Stage 3: the helper stages ciphertext into reserved memory.
+	st.Pass = s.Clock.Span(func() {
+		s.Clock.Advance(timing.Linear(s.Model.PassFixed, s.Model.PassPerByte, len(res.Ciphertext)))
+	})
+	if err := smmpatch.StageBlob(s.Machine.Mem, s.helperPriv, smmpatch.EnclavePubAddr(s.Kernel.Res), res.EnclavePub); err != nil {
+		return nil, fmt.Errorf("core: stage enclave key: %w", err)
+	}
+	if err := smmpatch.StageBlob(s.Machine.Mem, s.helperPriv, smmpatch.PackageAddr(s.Kernel.Res), res.Ciphertext); err != nil {
+		return nil, fmt.Errorf("core: stage package: %w", err)
+	}
+
+	// Stage 4: SMI — the only part that pauses the OS.
+	smiErr := s.SMM.Trigger(smmpatch.CmdProcessPackage, 0)
+	bd := s.Handler.LastBreakdown()
+	st.KeyGen = bd.KeyGen
+	st.Decrypt = bd.Decrypt
+	st.Verify = bd.Verify
+	st.Apply = bd.Apply
+	st.Switch = s.Model.SMMEntry + s.Model.SMMExit
+	if smiErr != nil {
+		return nil, fmt.Errorf("core: SMM processing: %w", smiErr)
+	}
+
+	// Confirm through the status mailbox and report to the server with
+	// its MAC (the authenticated DoS-detection handshake).
+	status, err := smmpatch.ReadStatusRecord(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return nil, err
+	}
+	if status.Code != wantStatus {
+		return nil, fmt.Errorf("core: %s: SMM status %d, want %d", cve, status.Code, wantStatus)
+	}
+	if err := s.client.ReportStatusMAC(status.Code, status.Seq, status.Digest, status.MAC[:]); err != nil {
+		return nil, err
+	}
+	return &Report{ID: cve, Stages: *st}, nil
+}
+
+// Protect runs SMM introspection over all applied patches, repairing
+// and reporting tampering (§V-D). It returns whether tampering was
+// found during this run.
+func (s *System) Protect() (bool, error) {
+	before := s.Handler.TamperEvents()
+	if err := s.SMM.Trigger(smmpatch.CmdIntrospect, 0); err != nil {
+		return false, err
+	}
+	return s.Handler.TamperEvents() > before, nil
+}
+
+// Applied returns the currently applied patch IDs.
+func (s *System) Applied() []string { return s.Handler.Applied() }
+
+// WatchKernelText baselines an SMM-held integrity hash of the whole
+// kernel text segment; later Protect calls flag any modification KShot
+// did not make itself (HyperCheck-style kernel protection, §V-D).
+func (s *System) WatchKernelText() error {
+	return s.SMM.Trigger(smmpatch.CmdWatchText, 0)
+}

@@ -1,0 +1,346 @@
+// Package cvebench provides the paper's evaluation benchmark: the 30
+// kernel CVE patches of Table I (plus the three extra CVEs §VI-C3's
+// figures use), each modeled as a vulnerable kernel subsystem file, a
+// source-level fix, and a mechanical exploit check that succeeds
+// against the vulnerable kernel and fails once the patch is live.
+//
+// Real CVE patches cannot be reproduced verbatim on a simulated
+// kernel, so each entry instantiates the archetype of its bug class —
+// missing bounds check (buffer overflows like CVE-2014-0196), missing
+// validation with information leak (CVE-2016-7916-style), a fix inside
+// an inline function that implicates its callers (Type 2, as in
+// CVE-2017-17053), and data-structure extension (Type 3, as in
+// CVE-2014-3690) — while preserving Table I's affected-function names,
+// patch sizes (lines of changed code, which drive payload bytes), and
+// Type 1/2/3 classification. The paper's RQ1 criterion ("patch
+// applies, system stays stable, bug gone") is checked the same way:
+// run the exploit before and after.
+package cvebench
+
+import (
+	"fmt"
+	"strings"
+
+	"kshot/internal/kernel"
+)
+
+// ExploitResult reports one exploit probe.
+type ExploitResult struct {
+	// Vulnerable is true when the exploit succeeded.
+	Vulnerable bool
+	// Detail describes what the probe observed.
+	Detail string
+}
+
+// ExploitFunc probes a running kernel for the entry's vulnerability.
+type ExploitFunc func(k *kernel.Kernel, vcpu int) (ExploitResult, error)
+
+// archetype generators return the vulnerable source, the patched
+// source, and the exploit probe.
+
+const canaryMagic = 0x1337
+
+// pad emits n filler instructions so generated functions match Table
+// I's patch sizes (and therefore produce realistically sized binary
+// payloads).
+func pad(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("    addi r9, 1\n")
+	}
+	return b.String()
+}
+
+// splitPad distributes the size budget across k functions.
+func splitPad(totalLoC, baseLines, k int) int {
+	per := (totalLoC - baseLines*k) / k
+	if per < 0 {
+		return 0
+	}
+	return per
+}
+
+// boundsCheckFunc generates one function writing attacker-indexed
+// slots of a fixed 8-word buffer; the vulnerable variant omits the
+// bounds check, so index 8 clobbers the adjacent canary.
+func boundsCheckFunc(fn string, padN int, fixed bool) string {
+	check := ""
+	if fixed {
+		check = "    cmpi r1, 8\n    jl .inbounds\n    movi r0, 14\n    ret\n.inbounds:\n"
+	}
+	return fmt.Sprintf(`
+.global %[1]s_buf 64
+.data   %[1]s_canary 37 13 00 00 00 00 00 00
+
+.func %[1]s              ; (idx, val) -> 0 ok / 14 EFAULT
+%[2]s    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+%[3]s    movi r0, 0
+    ret
+.endfunc
+`, fn, check, pad(padN))
+}
+
+// boundsCheckExploit writes one word past the buffer and checks the
+// canary.
+func boundsCheckExploit(fn string) ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (ExploitResult, error) {
+		if err := k.WriteGlobal(fn+"_canary", canaryMagic); err != nil {
+			return ExploitResult{}, err
+		}
+		if _, err := k.Call(vcpu, fn, 8, 0x6666); err != nil {
+			return ExploitResult{}, fmt.Errorf("exploit call %s: %w", fn, err)
+		}
+		v, err := k.ReadGlobal(fn + "_canary")
+		if err != nil {
+			return ExploitResult{}, err
+		}
+		if v != canaryMagic {
+			return ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("out-of-bounds write clobbered %s_canary (now %#x)", fn, v)}, nil
+		}
+		return ExploitResult{Detail: "out-of-bounds write rejected"}, nil
+	}
+}
+
+// leakFunc generates a function that, in the vulnerable variant,
+// returns the content of a secret global when probed with a crafted
+// argument (an information-leak archetype).
+func leakFunc(fn string, padN int, fixed bool) string {
+	check := ""
+	if fixed {
+		check = "    cmpi r1, 57005\n    jnz .serve\n    movi r0, 0\n    ret\n.serve:\n"
+	}
+	return fmt.Sprintf(`
+.data %[1]s_secret 5a a5 5a a5 00 00 00 00
+
+.func %[1]s              ; (req) -> per-request data
+%[2]s    cmpi r1, 57005          ; 0xdead: internal debug path
+    jnz .normal
+    loadg r0, %[1]s_secret
+    ret
+.normal:
+%[3]s    mov r0, r1
+    addi r0, 1
+    ret
+.endfunc
+`, fn, check, pad(padN))
+}
+
+const leakSecret = 0xa55aa55a
+
+func leakExploit(fn string) ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (ExploitResult, error) {
+		v, err := k.Call(vcpu, fn, 0xdead)
+		if err != nil {
+			return ExploitResult{}, fmt.Errorf("exploit call %s: %w", fn, err)
+		}
+		if v == leakSecret {
+			return ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("%s leaked secret %#x", fn, v)}, nil
+		}
+		return ExploitResult{Detail: "leak path returns 0"}, nil
+	}
+}
+
+// inlineValidatorFunc generates the Type 2 shape: the named function
+// is an *inline* validator (vulnerable: accepts everything), and
+// synthetic call sites embed it. Fixing the validator implicates the
+// sites.
+func inlineValidatorFunc(fn string, sites int, padN int, fixed bool) string {
+	body := "    movi r0, 1\n"
+	if fixed {
+		body = "    movi r0, 0\n    cmpi r1, 8\n    jge .end\n    movi r0, 1\n.end:\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+.global %[1]s_buf 64
+.data   %[1]s_canary 37 13 00 00 00 00 00 00
+
+.func %[1]s inline       ; (len) -> 1 valid / 0 invalid
+%[2]s%[3]s    ret
+.endfunc
+`, fn, body, pad(padN))
+	for i := 1; i <= sites; i++ {
+		fmt.Fprintf(&b, `
+.func %[1]s_site%[2]d        ; (len, val) -> 0 ok / 14 EFAULT
+    push r1
+    call %[1]s
+    pop r1
+    cmpi r0, 0
+    jnz .write
+    movi r0, 14
+    ret
+.write:
+    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+    movi r0, 0
+    ret
+.endfunc
+`, fn, i)
+	}
+	return b.String()
+}
+
+func inlineValidatorExploit(fn string) ExploitFunc {
+	site := fn + "_site1"
+	return func(k *kernel.Kernel, vcpu int) (ExploitResult, error) {
+		if err := k.WriteGlobal(fn+"_canary", canaryMagic); err != nil {
+			return ExploitResult{}, err
+		}
+		if _, err := k.Call(vcpu, site, 8, 0x6666); err != nil {
+			return ExploitResult{}, fmt.Errorf("exploit call %s: %w", site, err)
+		}
+		v, err := k.ReadGlobal(fn + "_canary")
+		if err != nil {
+			return ExploitResult{}, err
+		}
+		if v != canaryMagic {
+			return ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("inlined validator admitted out-of-bounds write through %s", site)}, nil
+		}
+		return ExploitResult{Detail: "validator rejects out-of-range length"}, nil
+	}
+}
+
+// structExtensionFuncs generates the Type 3 shape modeled on
+// CVE-2014-3690: the fix adds a cached field (a new global standing in
+// for the added struct member), an initializer that populates it, and
+// a consumer that validates against it. The vulnerable variant trusts
+// its argument unchecked.
+func structExtensionFuncs(base string, fns []string, padPer int, fixed bool) string {
+	consumer, initializer := fns[0], fns[0]
+	reader := fns[0]
+	if len(fns) > 1 {
+		initializer = fns[1]
+	}
+	if len(fns) > 2 {
+		reader = fns[2]
+	}
+	var b strings.Builder
+	if fixed {
+		fmt.Fprintf(&b, ".data %s_cached 00 01 00 00 00 00 00 00\n", base) // 256
+	}
+	// Consumer: in the fixed variant it clamps against the cached
+	// value; vulnerable passes anything through.
+	clamp := ""
+	if fixed {
+		clamp = fmt.Sprintf("    loadg r2, %s_cached\n    cmp r0, r2\n    jle .fine\n    mov r0, r2\n.fine:\n", base)
+	}
+	fmt.Fprintf(&b, `
+.func %[1]s              ; (v) -> sanitized v
+    mov r0, r1
+    add r0, r1
+%[2]s%[3]s    ret
+.endfunc
+`, consumer, clamp, pad(padPer))
+	if len(fns) > 1 {
+		store := "    movi r0, 0\n"
+		if fixed {
+			store = fmt.Sprintf("    movi r0, 256\n    storeg %s_cached, r0\n", base)
+		}
+		fmt.Fprintf(&b, `
+.func %[1]s              ; initialize cached state
+%[2]s%[3]s    ret
+.endfunc
+`, initializer, store, pad(padPer))
+	}
+	if len(fns) > 2 {
+		read := "    movi r0, 0\n"
+		if fixed {
+			read = fmt.Sprintf("    loadg r0, %s_cached\n", base)
+		}
+		fmt.Fprintf(&b, `
+.func %[1]s_impl notrace ; internal reader
+%[2]s    ret
+.endfunc
+
+.func %[1]s              ; read cached state
+    call %[1]s_impl
+%[3]s    ret
+.endfunc
+`, reader, read, pad(padPer))
+	}
+	return b.String()
+}
+
+func structExtensionExploit(fns []string) ExploitFunc {
+	consumer := fns[0]
+	return func(k *kernel.Kernel, vcpu int) (ExploitResult, error) {
+		// An oversized privileged value must be clamped post-patch.
+		v, err := k.Call(vcpu, consumer, 100000)
+		if err != nil {
+			return ExploitResult{}, fmt.Errorf("exploit call %s: %w", consumer, err)
+		}
+		if v > 256 {
+			return ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("%s accepted unvalidated state %#x", consumer, v)}, nil
+		}
+		return ExploitResult{Detail: "state validated against cached field"}, nil
+	}
+}
+
+// refcountFunc generates a double-decrement bug: the error path drops
+// a reference it never took (the use-after-free archetype, as in
+// CVE-2016-0728's keyring leak).
+func refcountFunc(fn string, padN int, fixed bool) string {
+	errPath := "    loadg r3, " + fn + "_refs\n    subi r3, 1\n    storeg " + fn + "_refs, r3\n"
+	if fixed {
+		errPath = ""
+	}
+	return fmt.Sprintf(`
+.data %[1]s_refs 01 00 00 00 00 00 00 00
+
+.func %[1]s              ; (obj) -> 0 ok / 22 EINVAL; takes+drops a ref
+    loadg r3, %[1]s_refs
+    addi r3, 1
+    storeg %[1]s_refs, r3
+    cmpi r1, 0
+    jnz .ok
+    ; error path
+    loadg r3, %[1]s_refs
+    subi r3, 1
+    storeg %[1]s_refs, r3
+%[2]s    movi r0, 22
+    ret
+.ok:
+%[3]s    loadg r3, %[1]s_refs
+    subi r3, 1
+    storeg %[1]s_refs, r3
+    movi r0, 0
+    ret
+.endfunc
+`, fn, errPath, pad(padN))
+}
+
+func refcountExploit(fn string) ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (ExploitResult, error) {
+		if err := k.WriteGlobal(fn+"_refs", 1); err != nil {
+			return ExploitResult{}, err
+		}
+		// Hit the error path; the buggy version double-drops.
+		if _, err := k.Call(vcpu, fn, 0); err != nil {
+			return ExploitResult{}, fmt.Errorf("exploit call %s: %w", fn, err)
+		}
+		refs, err := k.ReadGlobal(fn + "_refs")
+		if err != nil {
+			return ExploitResult{}, err
+		}
+		if refs != 1 {
+			return ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("refcount fell to %d after error path (double put)", int64(refs))}, nil
+		}
+		return ExploitResult{Detail: "refcount balanced on error path"}, nil
+	}
+}

@@ -1,0 +1,510 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The assembler consumes the textual "kernel source" dialect used by
+// the simulated kernel. A translation unit contains function
+// definitions and global variables:
+//
+//	; a comment
+//	.func sys_example [inline] [notrace]
+//	    movi r1, 10
+//	    cmpi r1, 0
+//	    jz .done
+//	    call helper
+//	.done:
+//	    ret
+//	.endfunc
+//
+//	.global counter 8          ; zero-initialized, 8 bytes
+//	.data   magic   de ad be ef ; initialized bytes (hex)
+//
+// Functions may be marked `inline`, in which case linking with
+// inlining enabled splices their bodies into callers — the mechanism
+// that produces the paper's Type 2 ("involves inlining") patches — and
+// `notrace`, which suppresses the ftrace prologue.
+
+// OperandKind classifies a parsed assembly operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OpndReg     OperandKind = iota + 1 // register
+	OpndImm                            // integer immediate
+	OpndSym                            // bare symbol reference (call/jmp/loadg/storeg target)
+	OpndSymAddr                        // @symbol — address-of immediate
+	OpndLabel                          // .label — local branch target
+	OpndMem                            // [reg+disp]
+)
+
+// Operand is a parsed assembly operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  uint8
+	Imm  int64
+	Sym  string
+}
+
+// SrcInst is a parsed, unresolved instruction.
+type SrcInst struct {
+	Op   Op
+	A, B Operand
+	Line int
+}
+
+// Item is one element of a function body: either a label definition or
+// an instruction.
+type Item struct {
+	Label string // non-empty for label items
+	Inst  *SrcInst
+}
+
+// SrcFunc is a parsed function definition.
+type SrcFunc struct {
+	Name    string
+	Inline  bool
+	NoTrace bool
+	Items   []Item
+	Line    int
+}
+
+// Clone returns a deep copy of the function, used by the inliner so
+// splicing never mutates the parsed unit.
+func (f *SrcFunc) Clone() *SrcFunc {
+	c := &SrcFunc{Name: f.Name, Inline: f.Inline, NoTrace: f.NoTrace, Line: f.Line}
+	c.Items = make([]Item, len(f.Items))
+	for i, it := range f.Items {
+		c.Items[i] = it
+		if it.Inst != nil {
+			inst := *it.Inst
+			c.Items[i].Inst = &inst
+		}
+	}
+	return c
+}
+
+// CallTargets returns the symbols this function calls (source-level
+// call edges, before any inlining). Duplicates are preserved in order.
+func (f *SrcFunc) CallTargets() []string {
+	var out []string
+	for _, it := range f.Items {
+		if it.Inst != nil && it.Inst.Op == OpCall && it.Inst.A.Kind == OpndSym {
+			out = append(out, it.Inst.A.Sym)
+		}
+	}
+	return out
+}
+
+// SrcGlobal is a parsed global variable definition.
+type SrcGlobal struct {
+	Name string
+	Size uint64
+	Init []byte // nil for .global (zero-initialized)
+	Line int
+}
+
+// Unit is a parsed translation unit.
+type Unit struct {
+	Funcs   []*SrcFunc
+	Globals []*SrcGlobal
+
+	funcIdx map[string]*SrcFunc
+	globIdx map[string]*SrcGlobal
+}
+
+// Func returns the named function, or nil.
+func (u *Unit) Func(name string) *SrcFunc { return u.funcIdx[name] }
+
+// Global returns the named global, or nil.
+func (u *Unit) Global(name string) *SrcGlobal { return u.globIdx[name] }
+
+// Merge appends another unit's definitions, erroring on duplicates.
+// It is how the kernel build combines "source files".
+func (u *Unit) Merge(other *Unit) error {
+	for _, f := range other.Funcs {
+		if u.funcIdx[f.Name] != nil {
+			return fmt.Errorf("merge: duplicate function %q", f.Name)
+		}
+		u.Funcs = append(u.Funcs, f)
+		u.funcIdx[f.Name] = f
+	}
+	for _, g := range other.Globals {
+		if u.globIdx[g.Name] != nil {
+			return fmt.Errorf("merge: duplicate global %q", g.Name)
+		}
+		u.Globals = append(u.Globals, g)
+		u.globIdx[g.Name] = g
+	}
+	return nil
+}
+
+// SyntaxError reports an assembly parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func synErr(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse assembles source text into a Unit.
+func Parse(src string) (*Unit, error) {
+	u := &Unit{
+		funcIdx: make(map[string]*SrcFunc),
+		globIdx: make(map[string]*SrcGlobal),
+	}
+	var cur *SrcFunc
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".func"):
+			if cur != nil {
+				return nil, synErr(n, ".func inside function %q", cur.Name)
+			}
+			f, err := parseFuncHeader(line, n)
+			if err != nil {
+				return nil, err
+			}
+			if u.funcIdx[f.Name] != nil {
+				return nil, synErr(n, "duplicate function %q", f.Name)
+			}
+			cur = f
+		case line == ".endfunc":
+			if cur == nil {
+				return nil, synErr(n, ".endfunc outside function")
+			}
+			u.Funcs = append(u.Funcs, cur)
+			u.funcIdx[cur.Name] = cur
+			cur = nil
+		case strings.HasPrefix(line, ".global") || strings.HasPrefix(line, ".data"):
+			if cur != nil {
+				return nil, synErr(n, "data directive inside function %q", cur.Name)
+			}
+			g, err := parseGlobal(line, n)
+			if err != nil {
+				return nil, err
+			}
+			if u.globIdx[g.Name] != nil {
+				return nil, synErr(n, "duplicate global %q", g.Name)
+			}
+			u.Globals = append(u.Globals, g)
+			u.globIdx[g.Name] = g
+		case strings.HasSuffix(line, ":"):
+			if cur == nil {
+				return nil, synErr(n, "label outside function")
+			}
+			label := strings.TrimSuffix(line, ":")
+			if !strings.HasPrefix(label, ".") || len(label) < 2 {
+				return nil, synErr(n, "labels must start with '.': %q", label)
+			}
+			cur.Items = append(cur.Items, Item{Label: label})
+		default:
+			if cur == nil {
+				return nil, synErr(n, "instruction outside function: %q", line)
+			}
+			inst, err := parseInst(line, n)
+			if err != nil {
+				return nil, err
+			}
+			cur.Items = append(cur.Items, Item{Inst: inst})
+		}
+	}
+	if cur != nil {
+		return nil, synErr(0, "unterminated function %q", cur.Name)
+	}
+	return u, nil
+}
+
+// MustParse parses source text, panicking on error. For tests and
+// static kernel sources known to be valid.
+func MustParse(src string) *Unit {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func parseFuncHeader(line string, n int) (*SrcFunc, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, synErr(n, ".func needs a name")
+	}
+	f := &SrcFunc{Name: fields[1], Line: n}
+	for _, attr := range fields[2:] {
+		switch attr {
+		case "inline":
+			f.Inline = true
+		case "notrace":
+			f.NoTrace = true
+		default:
+			return nil, synErr(n, "unknown function attribute %q", attr)
+		}
+	}
+	return f, nil
+}
+
+func parseGlobal(line string, n int) (*SrcGlobal, error) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".global":
+		if len(fields) != 3 {
+			return nil, synErr(n, ".global needs name and size")
+		}
+		size, err := strconv.ParseUint(fields[2], 0, 32)
+		if err != nil || size == 0 {
+			return nil, synErr(n, "bad .global size %q", fields[2])
+		}
+		return &SrcGlobal{Name: fields[1], Size: size, Line: n}, nil
+	case ".data":
+		if len(fields) < 3 {
+			return nil, synErr(n, ".data needs name and at least one byte")
+		}
+		init := make([]byte, 0, len(fields)-2)
+		for _, hx := range fields[2:] {
+			v, err := strconv.ParseUint(hx, 16, 8)
+			if err != nil {
+				return nil, synErr(n, "bad .data byte %q", hx)
+			}
+			init = append(init, byte(v))
+		}
+		return &SrcGlobal{Name: fields[1], Size: uint64(len(init)), Init: init, Line: n}, nil
+	default:
+		return nil, synErr(n, "unknown directive %q", fields[0])
+	}
+}
+
+func parseInst(line string, n int) (*SrcInst, error) {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := opByMnemonic[mnemonic]
+	if !ok {
+		return nil, synErr(n, "unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	inst := &SrcInst{Op: op, Line: n}
+
+	want := func(k int) error {
+		if len(args) != k {
+			return synErr(n, "%s expects %d operand(s), got %d", mnemonic, k, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case OpNop, OpRet, OpHlt:
+		return inst, want(0)
+
+	case OpTrap:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(args[0], 0, 16)
+		if err != nil || v < 0 || v > 255 {
+			return nil, synErr(n, "bad trap code %q", args[0])
+		}
+		inst.A = Operand{Kind: OpndImm, Imm: v}
+		return inst, nil
+
+	case OpCall, OpJmp, OpJz, OpJnz, OpJl, OpJge, OpJle, OpJg:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(args[0], ".") {
+			inst.A = Operand{Kind: OpndLabel, Sym: args[0]}
+		} else {
+			inst.A = Operand{Kind: OpndSym, Sym: args[0]}
+		}
+		return inst, nil
+
+	case OpMovi:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: r}
+		if strings.HasPrefix(args[1], "@") {
+			inst.B = Operand{Kind: OpndSymAddr, Sym: args[1][1:]}
+		} else {
+			v, err := strconv.ParseInt(args[1], 0, 64)
+			if err != nil {
+				// Allow full-range unsigned hex immediates.
+				uv, uerr := strconv.ParseUint(args[1], 0, 64)
+				if uerr != nil {
+					return nil, synErr(n, "bad immediate %q", args[1])
+				}
+				v = int64(uv)
+			}
+			inst.B = Operand{Kind: OpndImm, Imm: v}
+		}
+		return inst, nil
+
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpCmp:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		a, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseReg(args[1], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: a}
+		inst.B = Operand{Kind: OpndReg, Reg: b}
+		return inst, nil
+
+	case OpCmpi, OpAddi, OpSubi:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(args[1], 0, 33)
+		if err != nil {
+			return nil, synErr(n, "bad immediate %q", args[1])
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: r}
+		inst.B = Operand{Kind: OpndImm, Imm: v}
+		return inst, nil
+
+	case OpLoad:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		memOp, err := parseMem(args[1], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: r}
+		inst.B = memOp
+		return inst, nil
+
+	case OpStore:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		memOp, err := parseMem(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[1], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = memOp
+		inst.B = Operand{Kind: OpndReg, Reg: r}
+		return inst, nil
+
+	case OpPush, OpPop:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: r}
+		return inst, nil
+
+	case OpLoadg:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndReg, Reg: r}
+		inst.B = Operand{Kind: OpndSym, Sym: args[1]}
+		return inst, nil
+
+	case OpStrg:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(args[1], n)
+		if err != nil {
+			return nil, err
+		}
+		inst.A = Operand{Kind: OpndSym, Sym: args[0]}
+		inst.B = Operand{Kind: OpndReg, Reg: r}
+		return inst, nil
+	}
+	return nil, synErr(n, "unhandled mnemonic %q", mnemonic)
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string, n int) (uint8, error) {
+	if s == "sp" {
+		return RegSP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		v, err := strconv.Atoi(s[1:])
+		if err == nil && v >= 0 && v < NumRegs {
+			return uint8(v), nil
+		}
+	}
+	return 0, synErr(n, "bad register %q", s)
+}
+
+// parseMem parses "[reg]", "[reg+disp]" or "[reg-disp]".
+func parseMem(s string, n int) (Operand, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Operand{}, synErr(n, "bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	regPart, disp := inner, int64(0)
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		regPart = inner[:i]
+		v, err := strconv.ParseInt(inner[i:], 0, 33)
+		if err != nil {
+			return Operand{}, synErr(n, "bad displacement in %q", s)
+		}
+		disp = v
+	}
+	r, err := parseReg(strings.TrimSpace(regPart), n)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Kind: OpndMem, Reg: r, Imm: disp}, nil
+}

@@ -1,0 +1,285 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"kshot/internal/mem"
+)
+
+// StopAddr is the sentinel return address pushed before entering a
+// function via Call. When a ret pops it, execution of the call session
+// is complete.
+const StopAddr uint64 = 0xFFFF_FFFF_FFFF_FFF0
+
+// TrapError is returned by Step/Run when the CPU executes a trap
+// instruction. Benchmark exploit checks use trap codes to signal that
+// a vulnerable path was reached.
+type TrapError struct {
+	Code int
+	RIP  uint64
+}
+
+// Error implements the error interface.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("trap %d at %#x", e.Code, e.RIP)
+}
+
+// ExecError wraps a fault raised while executing, recording where.
+type ExecError struct {
+	RIP uint64
+	Err error
+}
+
+// Error implements the error interface.
+func (e *ExecError) Error() string { return fmt.Sprintf("exec at %#x: %v", e.RIP, e.Err) }
+
+// Unwrap supports errors.Is/As matching of the underlying fault.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// ErrStepLimit is returned by Run when the step budget is exhausted
+// before the call session completes.
+var ErrStepLimit = errors.New("cpu: step limit exceeded")
+
+// State is the architectural state of one virtual CPU — exactly what
+// the SMM hardware saves to the SMRAM state save area on an SMI and
+// restores on RSM.
+type State struct {
+	Reg  [NumRegs]uint64
+	RIP  uint64
+	ZF   bool
+	SF   bool
+	Priv mem.Priv
+}
+
+// CPU is an interpreter for the simulated ISA, executing instructions
+// from access-controlled physical memory at a given privilege level.
+type CPU struct {
+	State
+	M *mem.Physical
+
+	// Steps counts instructions retired, for cost accounting.
+	Steps uint64
+
+	fetchBuf [LenMovi]byte
+}
+
+// NewCPU creates a CPU executing at the given privilege.
+func New(m *mem.Physical, priv mem.Priv) *CPU {
+	return &CPU{State: State{Priv: priv}, M: m}
+}
+
+// Save returns a copy of the architectural state.
+func (c *CPU) Save() State { return c.State }
+
+// Restore replaces the architectural state.
+func (c *CPU) Restore(s State) { c.State = s }
+
+// Step fetches, decodes, and executes one instruction.
+func (c *CPU) Step() error {
+	// Fetch the opcode byte, then the instruction remainder.
+	if err := c.M.Fetch(c.Priv, c.RIP, c.fetchBuf[:1]); err != nil {
+		return &ExecError{RIP: c.RIP, Err: err}
+	}
+	n := Op(c.fetchBuf[0]).Length()
+	if n == 0 {
+		return &ExecError{RIP: c.RIP, Err: fmt.Errorf("invalid opcode %#02x", c.fetchBuf[0])}
+	}
+	if n > 1 {
+		if err := c.M.Fetch(c.Priv, c.RIP+1, c.fetchBuf[1:n]); err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+	}
+	inst, _, err := Decode(c.fetchBuf[:n])
+	if err != nil {
+		return &ExecError{RIP: c.RIP, Err: err}
+	}
+	next := c.RIP + uint64(n)
+	c.Steps++
+
+	switch inst.Op {
+	case OpNop:
+	case OpHlt:
+		return &ExecError{RIP: c.RIP, Err: errors.New("hlt in non-idle context")}
+	case OpTrap:
+		trap := &TrapError{Code: int(inst.Imm), RIP: c.RIP}
+		c.RIP = next
+		return trap
+	case OpRet:
+		addr, err := c.pop()
+		if err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+		c.RIP = addr
+		return nil
+	case OpCall:
+		if err := c.push(next); err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+		c.RIP = uint64(int64(next) + inst.Imm)
+		return nil
+	case OpJmp:
+		c.RIP = uint64(int64(next) + inst.Imm)
+		return nil
+	case OpJz, OpJnz, OpJl, OpJge, OpJle, OpJg:
+		if c.condTaken(inst.Op) {
+			c.RIP = uint64(int64(next) + inst.Imm)
+		} else {
+			c.RIP = next
+		}
+		return nil
+	case OpMovi:
+		c.Reg[inst.Dst] = uint64(inst.Imm)
+	case OpMov:
+		c.Reg[inst.Dst] = c.Reg[inst.Src]
+	case OpAdd:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]+c.Reg[inst.Src]))
+	case OpSub:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]-c.Reg[inst.Src]))
+	case OpMul:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]*c.Reg[inst.Src]))
+	case OpDiv:
+		if c.Reg[inst.Src] == 0 {
+			return &ExecError{RIP: c.RIP, Err: errors.New("division by zero")}
+		}
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]/c.Reg[inst.Src]))
+	case OpAnd:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]&c.Reg[inst.Src]))
+	case OpOr:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]|c.Reg[inst.Src]))
+	case OpXor:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]^c.Reg[inst.Src]))
+	case OpShl:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]<<(c.Reg[inst.Src]&63)))
+	case OpShr:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]>>(c.Reg[inst.Src]&63)))
+	case OpCmp:
+		c.setFlags(int64(c.Reg[inst.Dst] - c.Reg[inst.Src]))
+	case OpCmpi:
+		c.setFlags(int64(c.Reg[inst.Dst] - uint64(inst.Imm)))
+	case OpAddi:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]+uint64(inst.Imm)))
+	case OpSubi:
+		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]-uint64(inst.Imm)))
+	case OpLoad:
+		v, err := c.M.ReadU64(c.Priv, uint64(int64(c.Reg[inst.Src])+inst.Imm))
+		if err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+		c.Reg[inst.Dst] = v
+	case OpStore:
+		addr := uint64(int64(c.Reg[inst.Dst]) + inst.Imm)
+		if err := c.M.WriteU64(c.Priv, addr, c.Reg[inst.Src]); err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+	case OpPush:
+		if err := c.push(c.Reg[inst.Dst]); err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+	case OpPop:
+		v, err := c.pop()
+		if err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+		c.Reg[inst.Dst] = v
+	case OpLoadg:
+		v, err := c.M.ReadU64(c.Priv, uint64(inst.Imm))
+		if err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+		c.Reg[inst.Dst] = v
+	case OpStrg:
+		if err := c.M.WriteU64(c.Priv, uint64(inst.Imm), c.Reg[inst.Src]); err != nil {
+			return &ExecError{RIP: c.RIP, Err: err}
+		}
+	default:
+		return &ExecError{RIP: c.RIP, Err: fmt.Errorf("unhandled opcode %#02x", byte(inst.Op))}
+	}
+	c.RIP = next
+	return nil
+}
+
+func (c *CPU) alu(dst uint8, v uint64) int64 {
+	c.Reg[dst] = v
+	return int64(v)
+}
+
+func (c *CPU) setFlags(v int64) {
+	c.ZF = v == 0
+	c.SF = v < 0
+}
+
+func (c *CPU) condTaken(op Op) bool {
+	switch op {
+	case OpJz:
+		return c.ZF
+	case OpJnz:
+		return !c.ZF
+	case OpJl:
+		return c.SF && !c.ZF
+	case OpJge:
+		return !c.SF || c.ZF
+	case OpJle:
+		return c.SF || c.ZF
+	case OpJg:
+		return !c.SF && !c.ZF
+	default:
+		return false
+	}
+}
+
+func (c *CPU) push(v uint64) error {
+	c.Reg[RegSP] -= 8
+	return c.M.WriteU64(c.Priv, c.Reg[RegSP], v)
+}
+
+func (c *CPU) pop() (uint64, error) {
+	v, err := c.M.ReadU64(c.Priv, c.Reg[RegSP])
+	if err != nil {
+		return 0, err
+	}
+	c.Reg[RegSP] += 8
+	return v, nil
+}
+
+// Done reports whether the current call session has completed (a ret
+// popped the stop sentinel).
+func (c *CPU) Done() bool { return c.RIP == StopAddr }
+
+// Run steps until the call session completes, a trap or fault occurs,
+// or maxSteps instructions retire (returning ErrStepLimit).
+func (c *CPU) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if c.Done() {
+			return nil
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if c.Done() {
+		return nil
+	}
+	return ErrStepLimit
+}
+
+// Call executes the function at entry with up to five arguments in
+// r1..r5, using the given stack top. It returns r0.
+func (c *CPU) Call(entry, stackTop uint64, maxSteps int, args ...uint64) (uint64, error) {
+	if len(args) > 5 {
+		return 0, fmt.Errorf("call: too many arguments (%d)", len(args))
+	}
+	c.Reg = [NumRegs]uint64{}
+	c.Reg[RegSP] = stackTop
+	for i, a := range args {
+		c.Reg[1+i] = a
+	}
+	if err := c.push(StopAddr); err != nil {
+		return 0, err
+	}
+	c.RIP = entry
+	if err := c.Run(maxSteps); err != nil {
+		return c.Reg[0], err
+	}
+	return c.Reg[0], nil
+}

@@ -1,0 +1,422 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota + 1
+	SymObject
+)
+
+// Symbol is one entry of the linked image's symbol table (the analogue
+// of the kernel's kallsyms).
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Addr   uint64
+	Size   uint64
+	Traced bool // function compiled with the 5-byte ftrace prologue
+}
+
+// SymTab is an address- and name-indexed symbol table.
+type SymTab struct {
+	syms   []Symbol // sorted by Addr
+	byName map[string]int
+}
+
+// NewSymTab builds a symbol table from entries (copied, then sorted by
+// address). Duplicate names are an error.
+func NewSymTab(entries []Symbol) (*SymTab, error) {
+	t := &SymTab{
+		syms:   append([]Symbol(nil), entries...),
+		byName: make(map[string]int, len(entries)),
+	}
+	sort.Slice(t.syms, func(i, j int) bool { return t.syms[i].Addr < t.syms[j].Addr })
+	for i, s := range t.syms {
+		if _, dup := t.byName[s.Name]; dup {
+			return nil, fmt.Errorf("symtab: duplicate symbol %q", s.Name)
+		}
+		t.byName[s.Name] = i
+	}
+	return t, nil
+}
+
+// Lookup returns the symbol with the given name.
+func (t *SymTab) Lookup(name string) (Symbol, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return Symbol{}, false
+	}
+	return t.syms[i], true
+}
+
+// At returns the symbol whose [Addr, Addr+Size) range contains addr.
+func (t *SymTab) At(addr uint64) (Symbol, bool) {
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].Addr > addr })
+	if i == 0 {
+		return Symbol{}, false
+	}
+	s := t.syms[i-1]
+	if addr < s.Addr+s.Size {
+		return s, true
+	}
+	return Symbol{}, false
+}
+
+// All returns all symbols in address order. The caller must not modify
+// the returned slice.
+func (t *SymTab) All() []Symbol { return t.syms }
+
+// Funcs returns the function symbols in address order.
+func (t *SymTab) Funcs() []Symbol {
+	var out []Symbol
+	for _, s := range t.syms {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Image is a linked binary: text and data bytes with their load
+// addresses, plus the symbol table. It is the simulated equivalent of
+// a compiled kernel (or kernel patch) image.
+type Image struct {
+	Text     []byte
+	TextBase uint64
+	Data     []byte
+	DataBase uint64
+	Symbols  *SymTab
+}
+
+// FuncBytes returns the encoded bytes of the named function.
+func (img *Image) FuncBytes(name string) ([]byte, error) {
+	s, ok := img.Symbols.Lookup(name)
+	if !ok || s.Kind != SymFunc {
+		return nil, fmt.Errorf("image: no function %q", name)
+	}
+	off := s.Addr - img.TextBase
+	return img.Text[off : off+s.Size], nil
+}
+
+// LinkOptions control code generation, mirroring the kernel build
+// configuration KShot must reproduce on the patch server (§V-A).
+type LinkOptions struct {
+	TextBase uint64
+	DataBase uint64
+
+	// Ftrace compiles every function not marked notrace with a 5-byte
+	// `call __fentry__` prologue, as Linux does with tracing enabled.
+	Ftrace bool
+
+	// Inline expands calls to functions marked inline, the compiler
+	// optimization that produces Type 2 patches.
+	Inline bool
+
+	// MaxInlineDepth bounds transitive inline expansion (default 8).
+	MaxInlineDepth int
+}
+
+const defaultMaxInlineDepth = 8
+
+// fentryName is the ftrace prologue target, as in the Linux kernel.
+const fentryName = "__fentry__"
+
+// Link assembles and lays out a unit into an Image.
+func Link(u *Unit, opts LinkOptions) (*Image, error) {
+	depth := opts.MaxInlineDepth
+	if depth == 0 {
+		depth = defaultMaxInlineDepth
+	}
+
+	funcs := make([]*SrcFunc, 0, len(u.Funcs)+1)
+	for _, f := range u.Funcs {
+		if opts.Inline && f.Inline {
+			// Like C static inline functions, inline-marked functions
+			// are expanded into their callers and emit no standalone
+			// symbol. This is what makes a patch to an inline function
+			// implicate its callers (the paper's Type 2 case).
+			continue
+		}
+		g := f.Clone()
+		if opts.Inline {
+			var err error
+			g, err = expandInlines(u, g, depth)
+			if err != nil {
+				return nil, err
+			}
+		}
+		funcs = append(funcs, g)
+	}
+	if opts.Ftrace && u.Func(fentryName) == nil {
+		// Provide the default no-op tracing stub, as the kernel would.
+		funcs = append(funcs, &SrcFunc{
+			Name:    fentryName,
+			NoTrace: true,
+			Items:   []Item{{Inst: &SrcInst{Op: OpRet}}},
+		})
+	}
+
+	// Prepend the ftrace prologue where configured.
+	for _, f := range funcs {
+		if opts.Ftrace && !f.NoTrace {
+			pro := Item{Inst: &SrcInst{Op: OpCall, A: Operand{Kind: OpndSym, Sym: fentryName}}}
+			f.Items = append([]Item{pro}, f.Items...)
+		}
+	}
+
+	// Pass 1: place functions and compute label offsets.
+	var placed []placedFunc
+	cursor := opts.TextBase
+	for _, f := range funcs {
+		p := placedFunc{src: f, addr: cursor, labels: make(map[string]uint64)}
+		off := uint64(0)
+		for _, it := range f.Items {
+			if it.Label != "" {
+				if _, dup := p.labels[it.Label]; dup {
+					return nil, fmt.Errorf("link %s: duplicate label %q", f.Name, it.Label)
+				}
+				p.labels[it.Label] = cursor + off
+				continue
+			}
+			n := it.Inst.Op.Length()
+			if n == 0 {
+				return nil, fmt.Errorf("link %s: invalid opcode at line %d", f.Name, it.Inst.Line)
+			}
+			off += uint64(n)
+		}
+		p.size = off
+		placed = append(placed, p)
+		cursor += off
+	}
+
+	// Place globals in the data segment, 8-byte aligned.
+	dataCursor := uint64(0)
+	type placedGlobal struct {
+		src  *SrcGlobal
+		addr uint64
+	}
+	var globals []placedGlobal
+	for _, g := range u.Globals {
+		dataCursor = align8(dataCursor)
+		globals = append(globals, placedGlobal{src: g, addr: opts.DataBase + dataCursor})
+		dataCursor += g.Size
+	}
+	data := make([]byte, dataCursor)
+	for _, g := range globals {
+		copy(data[g.addr-opts.DataBase:], g.src.Init)
+	}
+
+	// Build the symbol table before emission so operands can resolve.
+	syms := make([]Symbol, 0, len(placed)+len(globals))
+	for _, p := range placed {
+		syms = append(syms, Symbol{
+			Name:   p.src.Name,
+			Kind:   SymFunc,
+			Addr:   p.addr,
+			Size:   p.size,
+			Traced: opts.Ftrace && !p.src.NoTrace,
+		})
+	}
+	for _, g := range globals {
+		syms = append(syms, Symbol{Name: g.src.Name, Kind: SymObject, Addr: g.addr, Size: g.src.Size})
+	}
+	symtab, err := NewSymTab(syms)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: emit with resolved operands.
+	text := make([]byte, 0, cursor-opts.TextBase)
+	for _, p := range placed {
+		at := p.addr
+		for _, it := range p.src.Items {
+			if it.Label != "" {
+				continue
+			}
+			inst, err := resolveInst(it.Inst, at, p.labels, symtab, p.src.Name)
+			if err != nil {
+				return nil, err
+			}
+			text, err = Encode(text, inst)
+			if err != nil {
+				return nil, fmt.Errorf("link %s: line %d: %w", p.src.Name, it.Inst.Line, err)
+			}
+			at += uint64(inst.Op.Length())
+		}
+	}
+
+	return &Image{
+		Text:     text,
+		TextBase: opts.TextBase,
+		Data:     data,
+		DataBase: opts.DataBase,
+		Symbols:  symtab,
+	}, nil
+}
+
+// placedFunc is a function fixed at its final text address during
+// pass 1, before operand resolution.
+type placedFunc struct {
+	src    *SrcFunc
+	addr   uint64
+	size   uint64
+	labels map[string]uint64 // label -> absolute address
+}
+
+func resolveInst(si *SrcInst, at uint64, labels map[string]uint64, symtab *SymTab, fn string) (Inst, error) {
+	inst := Inst{Op: si.Op}
+	resolveBranch := func(o Operand) error {
+		var target uint64
+		switch o.Kind {
+		case OpndLabel:
+			t, ok := labels[o.Sym]
+			if !ok {
+				return fmt.Errorf("link %s: line %d: undefined label %q", fn, si.Line, o.Sym)
+			}
+			target = t
+		case OpndSym:
+			s, ok := symtab.Lookup(o.Sym)
+			if !ok {
+				return fmt.Errorf("link %s: line %d: undefined symbol %q", fn, si.Line, o.Sym)
+			}
+			target = s.Addr
+		default:
+			return fmt.Errorf("link %s: line %d: bad branch operand", fn, si.Line)
+		}
+		rel, err := JmpRel32To(at, target)
+		if err != nil {
+			return fmt.Errorf("link %s: line %d: %w", fn, si.Line, err)
+		}
+		inst.Imm = int64(rel)
+		return nil
+	}
+
+	switch si.Op {
+	case OpNop, OpRet, OpHlt:
+	case OpTrap:
+		inst.Imm = si.A.Imm
+	case OpCall, OpJmp, OpJz, OpJnz, OpJl, OpJge, OpJle, OpJg:
+		if err := resolveBranch(si.A); err != nil {
+			return Inst{}, err
+		}
+	case OpMovi:
+		inst.Dst = si.A.Reg
+		switch si.B.Kind {
+		case OpndImm:
+			inst.Imm = si.B.Imm
+		case OpndSymAddr:
+			s, ok := symtab.Lookup(si.B.Sym)
+			if !ok {
+				return Inst{}, fmt.Errorf("link %s: line %d: undefined symbol %q", fn, si.Line, si.B.Sym)
+			}
+			inst.Imm = int64(s.Addr)
+		default:
+			return Inst{}, fmt.Errorf("link %s: line %d: bad movi operand", fn, si.Line)
+		}
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpShl, OpShr, OpCmp:
+		inst.Dst, inst.Src = si.A.Reg, si.B.Reg
+	case OpCmpi, OpAddi, OpSubi:
+		inst.Dst, inst.Imm = si.A.Reg, si.B.Imm
+	case OpLoad:
+		inst.Dst, inst.Src, inst.Imm = si.A.Reg, si.B.Reg, si.B.Imm
+	case OpStore:
+		inst.Dst, inst.Imm, inst.Src = si.A.Reg, si.A.Imm, si.B.Reg
+	case OpPush, OpPop:
+		inst.Dst = si.A.Reg
+	case OpLoadg:
+		s, ok := symtab.Lookup(si.B.Sym)
+		if !ok {
+			return Inst{}, fmt.Errorf("link %s: line %d: undefined global %q", fn, si.Line, si.B.Sym)
+		}
+		inst.Dst, inst.Imm = si.A.Reg, int64(s.Addr)
+	case OpStrg:
+		s, ok := symtab.Lookup(si.A.Sym)
+		if !ok {
+			return Inst{}, fmt.Errorf("link %s: line %d: undefined global %q", fn, si.Line, si.A.Sym)
+		}
+		inst.Src, inst.Imm = si.B.Reg, int64(s.Addr)
+	default:
+		return Inst{}, fmt.Errorf("link %s: line %d: unhandled opcode", fn, si.Line)
+	}
+	return inst, nil
+}
+
+// expandInlines splices the bodies of inline-marked callees into f,
+// recursively up to depth levels. Inline functions must end with a
+// single ret and contain no other rets; the splice drops that trailing
+// ret and renames labels to keep them unique.
+func expandInlines(u *Unit, f *SrcFunc, depth int) (*SrcFunc, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("inline: expansion too deep in %q (cycle among inline functions?)", f.Name)
+	}
+	out := &SrcFunc{Name: f.Name, Inline: f.Inline, NoTrace: f.NoTrace, Line: f.Line}
+	seq := 0
+	for _, it := range f.Items {
+		if it.Inst == nil || it.Inst.Op != OpCall || it.Inst.A.Kind != OpndSym {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		callee := u.Func(it.Inst.A.Sym)
+		if callee == nil || !callee.Inline {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		expanded, err := expandInlines(u, callee.Clone(), depth-1)
+		if err != nil {
+			return nil, err
+		}
+		body, err := inlineBody(expanded, f.Name, seq)
+		if err != nil {
+			return nil, err
+		}
+		seq++
+		out.Items = append(out.Items, body...)
+	}
+	return out, nil
+}
+
+func inlineBody(callee *SrcFunc, caller string, seq int) ([]Item, error) {
+	items := callee.Items
+	// Locate and drop the single trailing ret.
+	last := len(items) - 1
+	for last >= 0 && items[last].Label != "" {
+		last--
+	}
+	if last < 0 || items[last].Inst.Op != OpRet {
+		return nil, fmt.Errorf("inline %s into %s: inline functions must end with ret", callee.Name, caller)
+	}
+	for i, it := range items {
+		if i != last && it.Inst != nil && it.Inst.Op == OpRet {
+			return nil, fmt.Errorf("inline %s into %s: multiple rets in inline function", callee.Name, caller)
+		}
+	}
+	rename := func(l string) string { return fmt.Sprintf(".__inl%d_%s%s", seq, callee.Name, l) }
+	var out []Item
+	for i, it := range items {
+		if i == last {
+			continue
+		}
+		if it.Label != "" {
+			out = append(out, Item{Label: rename(it.Label)})
+			continue
+		}
+		inst := *it.Inst
+		if inst.A.Kind == OpndLabel {
+			inst.A.Sym = rename(inst.A.Sym)
+		}
+		if inst.B.Kind == OpndLabel {
+			inst.B.Sym = rename(inst.B.Sym)
+		}
+		out = append(out, Item{Inst: &inst})
+	}
+	return out, nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }

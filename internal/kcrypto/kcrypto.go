@@ -1,0 +1,226 @@
+// Package kcrypto implements the cryptographic primitives KShot uses
+// between its trusted components: finite-field Diffie-Hellman key
+// agreement for the SGX↔SMM shared-memory channel (§V-B/§V-C), an
+// AES-CTR session cipher for patch package transport, SHA-256 payload
+// verification, and the cheaper SDBM hash the paper suggests as an
+// alternative verification function (§VI-C2).
+//
+// The DH private key on the SMM side is regenerated before every
+// kernel patch, which is KShot's defense against replay of previously
+// captured patch packages.
+package kcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// modp2048 is the RFC 3526 group 14 prime (2048-bit MODP), the
+// standard choice for classic finite-field Diffie-Hellman.
+const modp2048Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+	"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9" +
+	"DE2BCBF6955817183995497CEA956AE515D2261898FA0510" +
+	"15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+
+var (
+	dhPrime = mustHexBig(modp2048Hex)
+	dhGen   = big.NewInt(2)
+	// dhPrivBits keeps exponent arithmetic fast while retaining the
+	// standard >= 2x security-level margin.
+	dhPrivBytes = 32
+)
+
+func mustHexBig(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("kcrypto: bad prime constant")
+	}
+	return v
+}
+
+// KeyPair is one side's ephemeral Diffie-Hellman key pair.
+type KeyPair struct {
+	priv *big.Int
+	pub  *big.Int
+}
+
+// GenerateKeyPair creates an ephemeral DH key pair using entropy from
+// r (crypto/rand.Reader in production; a deterministic reader in
+// tests).
+func GenerateKeyPair(r io.Reader) (*KeyPair, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	buf := make([]byte, dhPrivBytes)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dh keygen: %w", err)
+	}
+	priv := new(big.Int).SetBytes(buf)
+	// Guard against degenerate exponents.
+	if priv.Sign() == 0 {
+		priv.SetInt64(2)
+	}
+	pub := new(big.Int).Exp(dhGen, priv, dhPrime)
+	return &KeyPair{priv: priv, pub: pub}, nil
+}
+
+// PublicBytes returns the public key as a fixed-width big-endian blob
+// suitable for writing into the mem_RW exchange area.
+func (kp *KeyPair) PublicBytes() []byte {
+	return kp.pub.FillBytes(make([]byte, dhPrime.BitLen()/8))
+}
+
+// SharedSecret derives the 32-byte session key from the peer's public
+// key blob: SHA-256(g^ab mod p).
+func (kp *KeyPair) SharedSecret(peerPub []byte) ([]byte, error) {
+	peer := new(big.Int).SetBytes(peerPub)
+	if peer.Sign() <= 0 || peer.Cmp(dhPrime) >= 0 {
+		return nil, fmt.Errorf("dh: peer public key out of range")
+	}
+	// Reject the degenerate subgroup elements 1 and p-1.
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(dhPrime, one)
+	if peer.Cmp(one) == 0 || peer.Cmp(pm1) == 0 {
+		return nil, fmt.Errorf("dh: degenerate peer public key")
+	}
+	shared := new(big.Int).Exp(peer, kp.priv, dhPrime)
+	sum := sha256.Sum256(shared.FillBytes(make([]byte, dhPrime.BitLen()/8)))
+	return sum[:], nil
+}
+
+// Session is a symmetric transport cipher derived from a DH shared
+// secret. Each encryption uses a fresh random nonce carried with the
+// ciphertext.
+type Session struct {
+	block cipher.Block
+	rng   io.Reader
+}
+
+// NewSession builds a session cipher from a 32-byte key.
+func NewSession(key []byte, rng io.Reader) (*Session, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("session: key must be 32 bytes, got %d", len(key))
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return &Session{block: block, rng: rng}, nil
+}
+
+// nonceSize is the AES-CTR IV length prefixed to every ciphertext.
+const nonceSize = aes.BlockSize
+
+// Encrypt returns nonce || AES-CTR(plaintext).
+func (s *Session) Encrypt(plaintext []byte) ([]byte, error) {
+	out := make([]byte, nonceSize+len(plaintext))
+	if _, err := io.ReadFull(s.rng, out[:nonceSize]); err != nil {
+		return nil, fmt.Errorf("session encrypt: %w", err)
+	}
+	cipher.NewCTR(s.block, out[:nonceSize]).XORKeyStream(out[nonceSize:], plaintext)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (s *Session) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < nonceSize {
+		return nil, fmt.Errorf("session decrypt: ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	out := make([]byte, len(ciphertext)-nonceSize)
+	cipher.NewCTR(s.block, ciphertext[:nonceSize]).XORKeyStream(out, ciphertext[nonceSize:])
+	return out, nil
+}
+
+// Overhead is the ciphertext expansion of Session.Encrypt.
+const Overhead = nonceSize
+
+// HashAlg selects the payload verification hash.
+type HashAlg int
+
+// Verification hash algorithms. SHA-256 is the paper's default; SDBM
+// is the cheaper alternative it proposes for reducing SMM verification
+// time.
+const (
+	HashSHA256 HashAlg = iota + 1
+	HashSDBM
+)
+
+// String returns the algorithm name.
+func (h HashAlg) String() string {
+	switch h {
+	case HashSHA256:
+		return "sha256"
+	case HashSDBM:
+		return "sdbm"
+	default:
+		return fmt.Sprintf("hash(%d)", int(h))
+	}
+}
+
+// DigestSize is the byte length of Sum's output for any algorithm
+// (SDBM digests are zero-padded to the same width so package headers
+// have a fixed layout).
+const DigestSize = sha256.Size
+
+// Sum computes the selected digest of data.
+func Sum(alg HashAlg, data []byte) ([DigestSize]byte, error) {
+	switch alg {
+	case HashSHA256:
+		return sha256.Sum256(data), nil
+	case HashSDBM:
+		var out [DigestSize]byte
+		h := SDBM(data)
+		for i := 0; i < 8; i++ {
+			out[i] = byte(h >> (8 * i))
+		}
+		return out, nil
+	default:
+		return [DigestSize]byte{}, fmt.Errorf("sum: unknown hash algorithm %d", int(alg))
+	}
+}
+
+// MAC computes HMAC-SHA256(key, data) — used to authenticate the SMM
+// status mailbox so a kernel-level attacker cannot forge deployment
+// confirmations toward the remote server.
+func MAC(key, data []byte) [DigestSize]byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(data)
+	var out [DigestSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// VerifyMAC reports whether mac is a valid HMAC-SHA256 of data under
+// key, in constant time.
+func VerifyMAC(key, data []byte, mac [DigestSize]byte) bool {
+	want := MAC(key, data)
+	return hmac.Equal(want[:], mac[:])
+}
+
+// SDBM computes the classic SDBM string hash over data, extended to
+// 64 bits. It is fast and adequate for detecting accidental
+// corruption, but offers no cryptographic collision resistance — the
+// tradeoff the paper's §VI-C2 remark contemplates.
+func SDBM(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = uint64(b) + (h << 6) + (h << 16) - h
+	}
+	return h
+}

@@ -1,0 +1,264 @@
+package kcrypto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// detRand is a deterministic entropy source for reproducible tests.
+type detRand struct{ r *rand.Rand }
+
+func newDetRand(seed int64) *detRand { return &detRand{r: rand.New(rand.NewSource(seed))} }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func TestDHAgreement(t *testing.T) {
+	rng := newDetRand(1)
+	a, err := GenerateKeyPair(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeyPair(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := a.SharedSecret(b.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.SharedSecret(a.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Error("shared secrets differ")
+	}
+	if len(ka) != 32 {
+		t.Errorf("key length %d, want 32", len(ka))
+	}
+}
+
+func TestDHFreshKeysDiffer(t *testing.T) {
+	// The anti-replay property depends on every patch getting a new
+	// key: two independent exchanges must not produce the same secret.
+	rng := newDetRand(2)
+	peer, _ := GenerateKeyPair(rng)
+	k1p, _ := GenerateKeyPair(rng)
+	k2p, _ := GenerateKeyPair(rng)
+	k1, _ := k1p.SharedSecret(peer.PublicBytes())
+	k2, _ := k2p.SharedSecret(peer.PublicBytes())
+	if bytes.Equal(k1, k2) {
+		t.Error("two ephemeral exchanges yielded the same key")
+	}
+}
+
+func TestDHRejectsDegenerateKeys(t *testing.T) {
+	kp, _ := GenerateKeyPair(newDetRand(3))
+	width := len(kp.PublicBytes())
+	cases := map[string][]byte{
+		"zero": make([]byte, width),
+		"one":  append(make([]byte, width-1), 1),
+		"huge": bytes.Repeat([]byte{0xFF}, width+8),
+	}
+	for name, pub := range cases {
+		if _, err := kp.SharedSecret(pub); err == nil {
+			t.Errorf("%s public key accepted", name)
+		}
+	}
+}
+
+func TestDHPublicBytesFixedWidth(t *testing.T) {
+	for i := int64(0); i < 5; i++ {
+		kp, _ := GenerateKeyPair(newDetRand(i + 10))
+		if len(kp.PublicBytes()) != 256 {
+			t.Fatalf("public key width %d, want 256", len(kp.PublicBytes()))
+		}
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	s, err := NewSession(key, newDetRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("patch payload bytes")
+	ct, err := s.Encrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != len(msg)+Overhead {
+		t.Errorf("ciphertext length %d, want %d", len(ct), len(msg)+Overhead)
+	}
+	if bytes.Contains(ct, msg) {
+		t.Error("ciphertext contains plaintext")
+	}
+	pt, err := s.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSessionNoncesUnique(t *testing.T) {
+	s, _ := NewSession(make([]byte, 32), newDetRand(5))
+	c1, _ := s.Encrypt([]byte("same message"))
+	c2, _ := s.Encrypt([]byte("same message"))
+	if bytes.Equal(c1, c2) {
+		t.Error("two encryptions identical — nonce reuse")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	if _, err := NewSession(make([]byte, 16), nil); err == nil {
+		t.Error("short key accepted")
+	}
+	s, _ := NewSession(make([]byte, 32), newDetRand(6))
+	if _, err := s.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+}
+
+// Property: decrypt(encrypt(m)) == m for arbitrary payloads, across
+// independently derived (but matching) DH session keys.
+func TestQuickEndToEndChannel(t *testing.T) {
+	rng := newDetRand(7)
+	f := func(msg []byte) bool {
+		a, err := GenerateKeyPair(rng)
+		if err != nil {
+			return false
+		}
+		b, err := GenerateKeyPair(rng)
+		if err != nil {
+			return false
+		}
+		ka, _ := a.SharedSecret(b.PublicBytes())
+		kb, _ := b.SharedSecret(a.PublicBytes())
+		sa, err := NewSession(ka, rng)
+		if err != nil {
+			return false
+		}
+		sb, err := NewSession(kb, rng)
+		if err != nil {
+			return false
+		}
+		ct, err := sa.Encrypt(msg)
+		if err != nil {
+			return false
+		}
+		pt, err := sb.Decrypt(ct)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumAlgorithms(t *testing.T) {
+	data := []byte("verify me")
+	sha, err := Sum(HashSHA256, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdbm, err := Sum(HashSDBM, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha == sdbm {
+		t.Error("different algorithms produced the same digest")
+	}
+	if _, err := Sum(HashAlg(99), data); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Deterministic.
+	sha2, _ := Sum(HashSHA256, data)
+	if sha != sha2 {
+		t.Error("sum not deterministic")
+	}
+}
+
+func TestSumDetectsCorruption(t *testing.T) {
+	data := bytes.Repeat([]byte("abc123"), 100)
+	for _, alg := range []HashAlg{HashSHA256, HashSDBM} {
+		orig, _ := Sum(alg, data)
+		for i := 0; i < len(data); i += 97 {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x01
+			got, _ := Sum(alg, mut)
+			if got == orig {
+				t.Errorf("%v: single-bit flip at %d undetected", alg, i)
+			}
+		}
+	}
+}
+
+func TestSDBMKnownBehaviour(t *testing.T) {
+	if SDBM(nil) != 0 {
+		t.Error("SDBM(nil) != 0")
+	}
+	if SDBM([]byte("a")) == SDBM([]byte("b")) {
+		t.Error("trivial SDBM collision")
+	}
+}
+
+func TestHashAlgString(t *testing.T) {
+	if HashSHA256.String() != "sha256" || HashSDBM.String() != "sdbm" {
+		t.Error("HashAlg.String wrong")
+	}
+	if HashAlg(42).String() == "" {
+		t.Error("unknown HashAlg empty string")
+	}
+}
+
+func TestGenerateKeyPairDefaultEntropy(t *testing.T) {
+	kp, err := GenerateKeyPair(nil) // crypto/rand
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kp.PublicBytes()) != 256 {
+		t.Error("default-entropy keypair malformed")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	data := []byte("status record")
+	mac := MAC(key, data)
+	if !VerifyMAC(key, data, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	// Any perturbation must fail: data, key, or the MAC itself.
+	if VerifyMAC(key, []byte("status recorD"), mac) {
+		t.Error("modified data accepted")
+	}
+	other := MAC([]byte("ffffffffffffffffffffffffffffffff"), data)
+	if VerifyMAC(key, data, other) {
+		t.Error("MAC under wrong key accepted")
+	}
+	mut := mac
+	mut[0] ^= 1
+	if VerifyMAC(key, data, mut) {
+		t.Error("bit-flipped MAC accepted")
+	}
+}
+
+func TestMACDistinctInputsDistinctTags(t *testing.T) {
+	key := make([]byte, 32)
+	seen := map[[DigestSize]byte]bool{}
+	for i := 0; i < 64; i++ {
+		m := MAC(key, []byte{byte(i)})
+		if seen[m] {
+			t.Fatalf("tag collision at %d", i)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,152 @@
+// Package kernel provides the simulated Linux kernel: a source tree in
+// the assembler dialect, a deterministic build pipeline (the analogue
+// of compiling a kernel with a given version, configuration, and
+// compiler flags), and the booted runtime — text/data segments mapped
+// with kernel page attributes, a kallsyms-style symbol table, and
+// syscall-style entry points that workload threads execute on vCPUs.
+//
+// The build is configuration-sensitive on purpose: enabling ftrace
+// inserts 5-byte trace prologues, enabling inlining changes which
+// functions exist in the binary, and both change every downstream
+// function address. That is precisely why KShot's patch server must
+// rebuild with the target's exact configuration (§V-A), and why the
+// patch pipeline identifies functions on the binary rather than
+// trusting source-level names.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"kshot/internal/isa"
+)
+
+// Physical layout of the simulated machine. Chosen to fit comfortably
+// in the machine's default 256 MB with room between segments.
+const (
+	TextBase     = 0x100_0000 // kernel text at 16 MB
+	DataBase     = 0x400_0000 // kernel data/bss at 64 MB
+	ReservedBase = 0x500_0000 // KShot 18 MB reservation at 80 MB
+	EPCBase      = 0x800_0000 // SGX EPC at 128 MB
+	EPCSize      = 4 << 20
+	SMRAMBase    = 0xF00_0000 // SMRAM (TSEG) at 240 MB
+)
+
+// BuildConfig is the kernel build configuration — the "OS information"
+// KShot collects and sends to the patch server so it can reproduce a
+// bit-identical binary.
+type BuildConfig struct {
+	// Version is the kernel version string (e.g. "3.14", "4.4").
+	Version string
+
+	// Ftrace compiles traced functions with the 5-byte prologue
+	// (CONFIG_FUNCTION_TRACER).
+	Ftrace bool
+
+	// Inline enables the compiler's inline expansion.
+	Inline bool
+}
+
+// SourceTree is the kernel source: named files of assembler source,
+// built in deterministic file order.
+type SourceTree struct {
+	cfg   BuildConfig
+	order []string
+	files map[string]string
+}
+
+// NewSourceTree creates an empty tree with the given configuration.
+func NewSourceTree(cfg BuildConfig) *SourceTree {
+	return &SourceTree{cfg: cfg, files: make(map[string]string)}
+}
+
+// Config returns the tree's build configuration.
+func (st *SourceTree) Config() BuildConfig { return st.cfg }
+
+// AddFile adds or replaces a source file. New files append to the
+// build order; replaced files keep their position (so a patched file
+// produces a layout-compatible image, with only downstream shifts from
+// size changes — as a real rebuild would).
+func (st *SourceTree) AddFile(name, src string) {
+	if _, ok := st.files[name]; !ok {
+		st.order = append(st.order, name)
+	}
+	st.files[name] = src
+}
+
+// File returns a file's source and whether it exists.
+func (st *SourceTree) File(name string) (string, bool) {
+	s, ok := st.files[name]
+	return s, ok
+}
+
+// Files returns the file names in build order.
+func (st *SourceTree) Files() []string {
+	return append([]string(nil), st.order...)
+}
+
+// Clone returns an independent deep copy — the patch server clones the
+// reported tree before applying a source patch.
+func (st *SourceTree) Clone() *SourceTree {
+	c := NewSourceTree(st.cfg)
+	c.order = append([]string(nil), st.order...)
+	for k, v := range st.files {
+		c.files[k] = v
+	}
+	return c
+}
+
+// SourcePatch is a source-level kernel patch: replacement contents for
+// one or more files (the form a CVE fix arrives in).
+type SourcePatch struct {
+	// ID identifies the patch (e.g. the CVE number).
+	ID string
+
+	// Files maps file name to its complete post-patch source.
+	Files map[string]string
+}
+
+// Apply replaces the patched files in the tree. Every patched file
+// must already exist: a kernel patch modifies shipped code.
+func (st *SourceTree) Apply(p SourcePatch) error {
+	var names []string
+	for name := range p.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := st.files[name]; !ok {
+			return fmt.Errorf("apply %s: patch touches unknown file %q", p.ID, name)
+		}
+	}
+	for _, name := range names {
+		st.files[name] = p.Files[name]
+	}
+	return nil
+}
+
+// Build assembles and links the tree into a kernel image, returning
+// the image and the merged source unit (the source-level view the
+// patch pipeline's call-graph analysis consumes).
+func (st *SourceTree) Build() (*isa.Image, *isa.Unit, error) {
+	merged := isa.MustParse("") // empty unit to merge into
+	for _, name := range st.order {
+		u, err := isa.Parse(st.files[name])
+		if err != nil {
+			return nil, nil, fmt.Errorf("build %s: %w", name, err)
+		}
+		if err := merged.Merge(u); err != nil {
+			return nil, nil, fmt.Errorf("build %s: %w", name, err)
+		}
+	}
+	img, err := isa.Link(merged, isa.LinkOptions{
+		TextBase: TextBase,
+		DataBase: DataBase,
+		Ftrace:   st.cfg.Ftrace,
+		Inline:   st.cfg.Inline,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("build link: %w", err)
+	}
+	return img, merged, nil
+}

@@ -1,0 +1,406 @@
+package kernel
+
+import "fmt"
+
+// BaseTree returns the base kernel source tree for a supported version
+// ("3.14" or "4.4"). Benchmark code adds subsystem files containing
+// vulnerable functions on top of this tree; the patch server applies
+// source patches to it and rebuilds.
+//
+// The two versions differ in real ways — extra functions, different
+// globals, different file content — so images built for one version
+// are not address-compatible with the other, exercising the paper's
+// requirement that the patch server rebuild with the target's exact
+// version and configuration.
+func BaseTree(version string) (*SourceTree, error) {
+	cfg := BuildConfig{Version: version, Ftrace: true, Inline: true}
+	st := NewSourceTree(cfg)
+
+	st.AddFile("lib/string.asm", libString)
+	st.AddFile("kernel/sched.asm", schedSrc(version))
+	st.AddFile("kernel/sys.asm", sysSrc)
+	st.AddFile("mm/util.asm", mmUtil)
+	st.AddFile("fs/vfs.asm", fsVfs)
+	st.AddFile("net/sock.asm", netSock)
+	st.AddFile("kernel/audit.asm", auditSrc)
+
+	switch version {
+	case "3.14":
+		st.AddFile("kernel/compat.asm", compat314)
+	case "4.4":
+		st.AddFile("kernel/compat.asm", compat44)
+		st.AddFile("kernel/extable.asm", extable44)
+	default:
+		return nil, fmt.Errorf("kernel: unsupported version %q (want 3.14 or 4.4)", version)
+	}
+	return st, nil
+}
+
+// libString: low-level helpers shared across subsystems. memcpy_words
+// and memset_words operate on 8-byte words, the allocation granule of
+// the simulated kernel.
+const libString = `
+; lib/string.asm — word-granular memory helpers
+
+.func memcpy_words notrace     ; (dst, src, nwords)
+.loop:
+    cmpi r3, 0
+    jz .done
+    load r4, [r2]
+    store [r1], r4
+    addi r1, 8
+    addi r2, 8
+    subi r3, 1
+    jmp .loop
+.done:
+    ret
+.endfunc
+
+.func memset_words notrace     ; (dst, value, nwords)
+.loop:
+    cmpi r3, 0
+    jz .done
+    store [r1], r2
+    addi r1, 8
+    subi r3, 1
+    jmp .loop
+.done:
+    ret
+.endfunc
+
+.func bounds_ok inline          ; (idx, limit) -> 1 if idx < limit else 0
+    cmp r1, r2
+    jl .ok
+    movi r0, 0
+    ret
+.ok:
+    movi r0, 1
+    ret
+.endfunc
+
+.func min_u64 inline            ; (a, b) -> min
+    cmp r1, r2
+    jl .a
+    mov r0, r2
+    ret
+.a:
+    mov r0, r1
+    ret
+.endfunc
+`
+
+// schedSrc: scheduler-flavoured state and syscalls; the jiffies
+// counter doubles as the workload's visible progress marker.
+func schedSrc(version string) string {
+	code := 0x030e00 // 3.14
+	if version == "4.4" {
+		code = 0x040400
+	}
+	return fmt.Sprintf(`
+; kernel/sched.asm — scheduler tick and identity
+
+.global jiffies 8
+.global kversion_code 8
+.global pid_counter 8
+
+.func schedule_tick
+    loadg r0, jiffies
+    addi r0, 1
+    storeg jiffies, r0
+    ret
+.endfunc
+
+.func sys_getpid
+    loadg r0, pid_counter
+    addi r0, 1
+    storeg pid_counter, r0
+    ret
+.endfunc
+
+.func sys_version
+    movi r0, %d
+    ret
+.endfunc
+
+.func kernel_init notrace
+    movi r1, %d
+    storeg kversion_code, r1
+    movi r1, 0
+    storeg jiffies, r1
+    storeg pid_counter, r1
+    ret
+.endfunc
+`, code, code)
+}
+
+// sysSrc: the syscalls workload threads exercise (the Sysbench-like
+// CPU, memory, and mixed paths).
+const sysSrc = `
+; kernel/sys.asm — workload syscalls
+
+.global sys_ops 8
+
+.func sys_compute            ; (a, b) -> (a+b)*(a-b) + a  — CPU-bound path
+    mov r3, r1
+    add r3, r2               ; a+b
+    mov r4, r1
+    sub r4, r2               ; a-b
+    mul r3, r4
+    add r3, r1
+    mov r0, r3
+    loadg r5, sys_ops
+    addi r5, 1
+    storeg sys_ops, r5
+    ret
+.endfunc
+
+.func sys_memmove            ; (dst, src, nwords) -> nwords — memory-bound path
+    push r3
+    call memcpy_words
+    pop r0
+    loadg r5, sys_ops
+    addi r5, 1
+    storeg sys_ops, r5
+    ret
+.endfunc
+
+.func sys_checksum           ; (addr, nwords) -> sum of words
+    movi r0, 0
+.loop:
+    cmpi r2, 0
+    jz .done
+    load r3, [r1]
+    add r0, r3
+    addi r1, 8
+    subi r2, 1
+    jmp .loop
+.done:
+    loadg r5, sys_ops
+    addi r5, 1
+    storeg sys_ops, r5
+    ret
+.endfunc
+`
+
+// mmUtil: memory-management helpers several CVE functions call.
+const mmUtil = `
+; mm/util.asm
+
+.global page_faults 8
+
+.func account_fault
+    loadg r0, page_faults
+    addi r0, 1
+    storeg page_faults, r0
+    ret
+.endfunc
+
+.func validate_range          ; (addr, len, limit) -> 1 ok / 0 bad
+    mov r4, r1
+    add r4, r2
+    cmp r4, r3
+    jle .ok
+    movi r0, 0
+    ret
+.ok:
+    movi r0, 1
+    ret
+.endfunc
+`
+
+// fsVfs: a small VFS layer — path-component hashing, a fixed dentry
+// cache with open/close bookkeeping, and read accounting. Gives the
+// kernel realistic nested call structure (syscall → lookup → hash)
+// with both inline helpers and shared globals.
+const fsVfs = `
+; fs/vfs.asm
+
+.global dentry_cache 128      ; 16 slots of path-hash entries
+.global open_files 8
+.global vfs_reads 8
+
+.func vfs_hash_component inline   ; (acc, ch) -> acc*33 + ch
+    movi r9, 33
+    mul r1, r9
+    add r1, r2
+    mov r0, r1
+    ret
+.endfunc
+
+.func vfs_path_hash               ; (seed, n) -> hash of n pseudo components
+    mov r3, r2
+    mov r0, r1
+.next:
+    cmpi r3, 0
+    jz .done
+    mov r1, r0
+    mov r2, r3
+    call vfs_hash_component
+    subi r3, 1
+    jmp .next
+.done:
+    ret
+.endfunc
+
+.func dcache_slot inline          ; (hash) -> &dentry_cache[hash % 16]
+    movi r3, 15
+    and r1, r3
+    movi r4, 8
+    mul r1, r4
+    movi r0, @dentry_cache
+    add r0, r1
+    ret
+.endfunc
+
+.func sys_open                    ; (seed, n) -> fd-ish hash; caches the path
+    push r1
+    push r2
+    call vfs_path_hash
+    pop r2
+    pop r1
+    push r0
+    mov r1, r0
+    call dcache_slot
+    mov r5, r0
+    pop r0
+    store [r5], r0
+    loadg r6, open_files
+    addi r6, 1
+    storeg open_files, r6
+    ret
+.endfunc
+
+.func sys_close                   ; () -> remaining open files
+    loadg r0, open_files
+    cmpi r0, 0
+    jz .done
+    subi r0, 1
+    storeg open_files, r0
+.done:
+    ret
+.endfunc
+
+.func sys_read_acct               ; (nbytes) -> total bytes read so far
+    loadg r0, vfs_reads
+    add r0, r1
+    storeg vfs_reads, r0
+    ret
+.endfunc
+`
+
+// netSock: a toy socket layer with a backlog queue and checksumming,
+// exercising bounded-queue logic.
+const netSock = `
+; net/sock.asm
+
+.global sock_backlog 64           ; 8-slot backlog ring
+.global sock_head 8
+.global sock_drops 8
+
+.func sock_enqueue                ; (pkt) -> 0 ok / 105 ENOBUFS
+    loadg r2, sock_head
+    cmpi r2, 8
+    jl .room
+    loadg r3, sock_drops
+    addi r3, 1
+    storeg sock_drops, r3
+    movi r0, 105
+    ret
+.room:
+    movi r3, @sock_backlog
+    mov r4, r2
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r1
+    addi r2, 1
+    storeg sock_head, r2
+    movi r0, 0
+    ret
+.endfunc
+
+.func sock_drain                  ; () -> sum of drained packets
+    movi r0, 0
+    loadg r2, sock_head
+.loop:
+    cmpi r2, 0
+    jz .done
+    subi r2, 1
+    movi r3, @sock_backlog
+    mov r4, r2
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    load r6, [r3]
+    add r0, r6
+    jmp .loop
+.done:
+    movi r2, 0
+    storeg sock_head, r2
+    ret
+.endfunc
+`
+
+// auditSrc: an audit trail counting privileged operations — a
+// convenient side-effect channel for tests and workloads.
+const auditSrc = `
+; kernel/audit.asm
+
+.global audit_events 8
+.global audit_last 8
+
+.func audit_log                   ; (code) -> event count
+    storeg audit_last, r1
+    loadg r0, audit_events
+    addi r0, 1
+    storeg audit_events, r0
+    ret
+.endfunc
+
+.func sys_privileged_op           ; (code, arg) -> arg*2, audited
+    push r2
+    call audit_log
+    pop r2
+    mov r0, r2
+    add r0, r2
+    ret
+.endfunc
+`
+
+// compat314: 3.14-only compatibility shims.
+const compat314 = `
+; kernel/compat.asm (3.14)
+
+.func legacy_ioctl_shim
+    mov r0, r1
+    addi r0, 0
+    ret
+.endfunc
+`
+
+// compat44: 4.4 gained an extra entry point and a feature flag.
+const compat44 = `
+; kernel/compat.asm (4.4)
+
+.global feature_flags 8
+
+.func legacy_ioctl_shim
+    mov r0, r1
+    ret
+.endfunc
+
+.func sys_feature_probe
+    loadg r0, feature_flags
+    ret
+.endfunc
+`
+
+// extable44: 4.4-only exception-table helpers.
+const extable44 = `
+; kernel/extable.asm (4.4)
+
+.func fixup_exception
+    movi r0, 1
+    ret
+.endfunc
+`

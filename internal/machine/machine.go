@@ -1,0 +1,273 @@
+// Package machine glues physical memory and vCPUs into a runnable
+// target machine with the pause/resume semantics KShot's SMM component
+// relies on.
+//
+// Each vCPU executes call sessions on its own goroutine, checking a
+// pause gate between instructions. Raising an SMI (from the smm
+// package) pauses every vCPU at an instruction boundary — exactly the
+// synchronous world-switch real SMM hardware performs — so the SMM
+// handler observes a quiescent machine, and execution resumes where it
+// stopped afterwards.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kshot/internal/isa"
+	"kshot/internal/mem"
+)
+
+// Default layout constants for the simulated target machine.
+const (
+	// DefaultPhysSize is the machine's physical memory size. The
+	// paper's testbed has 16 GB; 256 MB is ample for the simulated
+	// kernel plus the 18 MB reservation and keeps tests fast.
+	DefaultPhysSize = 256 << 20
+
+	// StackRegionBase is where per-vCPU kernel stacks are mapped.
+	StackRegionBase = 0xC00_0000
+	// StackSize is the per-vCPU kernel stack size.
+	StackSize = 256 << 10
+)
+
+// ErrStopped is returned for work submitted to a stopped machine.
+var ErrStopped = errors.New("machine: stopped")
+
+// Config configures a new Machine.
+type Config struct {
+	PhysSize uint64 // physical memory bytes (default DefaultPhysSize)
+	NumVCPUs int    // number of vCPUs (default 4)
+}
+
+// Machine is the simulated target host.
+type Machine struct {
+	Mem *mem.Physical
+
+	vcpus []*VCPU
+
+	gate pauseGate
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// New builds a machine with mapped per-vCPU stacks and started vCPU
+// runner goroutines. Call Stop when done.
+func New(cfg Config) (*Machine, error) {
+	if cfg.PhysSize == 0 {
+		cfg.PhysSize = DefaultPhysSize
+	}
+	if cfg.NumVCPUs == 0 {
+		cfg.NumVCPUs = 4
+	}
+	m := &Machine{Mem: mem.New(cfg.PhysSize)}
+	m.gate.init()
+
+	for i := 0; i < cfg.NumVCPUs; i++ {
+		base := StackRegionBase + uint64(i)*StackSize
+		name := fmt.Sprintf("stack.vcpu%d", i)
+		if _, err := m.Mem.Map(name, base, StackSize, mem.Perms{
+			Kernel: mem.PermRW,
+			SMM:    mem.PermRWX,
+		}); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		v := &VCPU{
+			ID:       i,
+			cpu:      isa.New(m.Mem, mem.PrivKernel),
+			stackTop: base + StackSize,
+			machine:  m,
+			reqs:     make(chan *callReq),
+		}
+		m.vcpus = append(m.vcpus, v)
+		go v.run()
+	}
+	return m, nil
+}
+
+// NumVCPUs returns the vCPU count.
+func (m *Machine) NumVCPUs() int { return len(m.vcpus) }
+
+// VCPU returns vCPU i.
+func (m *Machine) VCPU(i int) *VCPU { return m.vcpus[i] }
+
+// Stop shuts down all vCPU runner goroutines. In-flight sessions
+// complete first. Stop is idempotent.
+func (m *Machine) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	for _, v := range m.vcpus {
+		close(v.reqs)
+	}
+}
+
+// Pause halts every vCPU at an instruction boundary and returns once
+// all of them are quiescent. It is what an SMI does to the host.
+func (m *Machine) Pause() { m.gate.pause() }
+
+// Resume releases paused vCPUs (the RSM side of the world switch).
+func (m *Machine) Resume() { m.gate.resume() }
+
+// Paused reports whether the machine is currently paused.
+func (m *Machine) Paused() bool { return m.gate.isPaused() }
+
+// States captures the architectural state of every vCPU. Only
+// meaningful while paused (the SMM save-state step).
+func (m *Machine) States() []isa.State {
+	out := make([]isa.State, len(m.vcpus))
+	for i, v := range m.vcpus {
+		out[i] = v.cpu.Save()
+	}
+	return out
+}
+
+// RestoreStates restores previously captured vCPU states. Only
+// meaningful while paused (the RSM restore step).
+func (m *Machine) RestoreStates(states []isa.State) error {
+	if len(states) != len(m.vcpus) {
+		return fmt.Errorf("machine: restoring %d states onto %d vcpus", len(states), len(m.vcpus))
+	}
+	for i, v := range m.vcpus {
+		v.cpu.Restore(states[i])
+	}
+	return nil
+}
+
+// callReq is one function-call session submitted to a vCPU.
+type callReq struct {
+	entry    uint64
+	args     []uint64
+	maxSteps int
+	done     chan callRes
+}
+
+type callRes struct {
+	ret uint64
+	err error
+}
+
+// VCPU is one virtual CPU with a dedicated runner goroutine and kernel
+// stack.
+type VCPU struct {
+	ID int
+
+	cpu      *isa.CPU
+	stackTop uint64
+	machine  *Machine
+	reqs     chan *callReq
+}
+
+// run is the vCPU runner goroutine: it executes submitted call
+// sessions instruction by instruction, honoring the pause gate between
+// steps.
+func (v *VCPU) run() {
+	for req := range v.reqs {
+		res := v.execute(req)
+		req.done <- res
+	}
+}
+
+// execute runs one call session. Every access to the vCPU's
+// architectural state happens inside a gate bracket, so a paused
+// machine exposes stable state to States/RestoreStates.
+func (v *VCPU) execute(req *callReq) callRes {
+	c := v.cpu
+	g := &v.machine.gate
+
+	g.beginStep()
+	c.Reg = [isa.NumRegs]uint64{}
+	c.Reg[isa.RegSP] = v.stackTop
+	for i, a := range req.args {
+		c.Reg[1+i] = a
+	}
+	// Push the stop sentinel.
+	c.Reg[isa.RegSP] -= 8
+	err := c.M.WriteU64(c.Priv, c.Reg[isa.RegSP], isa.StopAddr)
+	c.RIP = req.entry
+	g.endStep()
+	if err != nil {
+		return callRes{err: err}
+	}
+
+	for steps := 0; ; steps++ {
+		g.beginStep()
+		if c.Done() {
+			ret := c.Reg[0]
+			g.endStep()
+			return callRes{ret: ret}
+		}
+		if steps >= req.maxSteps {
+			g.endStep()
+			return callRes{err: isa.ErrStepLimit}
+		}
+		err := c.Step()
+		g.endStep()
+		if err != nil {
+			return callRes{err: err}
+		}
+	}
+}
+
+// Call runs the function at entry on this vCPU with up to five
+// arguments, blocking until the session completes. It is safe to call
+// from multiple goroutines; sessions on one vCPU serialize.
+func (v *VCPU) Call(entry uint64, maxSteps int, args ...uint64) (uint64, error) {
+	if len(args) > 5 {
+		return 0, fmt.Errorf("vcpu %d: too many arguments (%d)", v.ID, len(args))
+	}
+	req := &callReq{entry: entry, args: args, maxSteps: maxSteps, done: make(chan callRes, 1)}
+
+	v.machine.mu.Lock()
+	stopped := v.machine.stopped
+	v.machine.mu.Unlock()
+	if stopped {
+		return 0, ErrStopped
+	}
+	v.reqs <- req
+	res := <-req.done
+	return res.ret, res.err
+}
+
+// pauseGate coordinates the SMI world switch. Every instruction
+// executes inside a beginStep/endStep bracket (a read lock); pause()
+// takes the write lock, which blocks new brackets from opening and
+// waits until all open ones close, so when it returns the machine is
+// quiescent at instruction boundaries — exactly the guarantee SMM
+// hardware gives the handler. The write lock is held until resume(),
+// and concurrent pausers serialize on it.
+type pauseGate struct {
+	rw     sync.RWMutex
+	paused atomic.Bool
+}
+
+func (g *pauseGate) init() {}
+
+// beginStep opens an instruction execution bracket, parking while the
+// machine is paused.
+func (g *pauseGate) beginStep() { g.rw.RLock() }
+
+// endStep closes the bracket opened by beginStep.
+func (g *pauseGate) endStep() { g.rw.RUnlock() }
+
+// pause requests a world switch and returns once no instruction is in
+// flight.
+func (g *pauseGate) pause() {
+	g.rw.Lock()
+	g.paused.Store(true)
+}
+
+// resume releases parked vCPUs.
+func (g *pauseGate) resume() {
+	g.paused.Store(false)
+	g.rw.Unlock()
+}
+
+func (g *pauseGate) isPaused() bool { return g.paused.Load() }

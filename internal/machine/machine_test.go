@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kshot/internal/isa"
+	"kshot/internal/mem"
+)
+
+const testSrc = `
+.global counter 8
+.func bump
+    loadg r0, counter
+    addi r0, 1
+    storeg counter, r0
+    ret
+.endfunc
+.func addmul
+    mov r0, r1
+    add r0, r2
+    movi r3, 3
+    mul r0, r3
+    ret
+.endfunc
+.func spinny      ; busy loop r1 times then return r1
+    mov r0, r1
+.l:
+    cmpi r1, 0
+    jz .d
+    subi r1, 1
+    jmp .l
+.d:
+    ret
+.endfunc
+`
+
+// newTestMachine boots a machine with the test image loaded.
+func newTestMachine(t *testing.T, n int) (*Machine, *isa.Image) {
+	t.Helper()
+	m, err := New(Config{NumVCPUs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	img, err := isa.Link(isa.MustParse(testSrc), isa.LinkOptions{TextBase: 0x10_0000, DataBase: 0x40_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mem.Map("ktext", img.TextBase, uint64(len(img.Text)), mem.Perms{Kernel: mem.PermRX, SMM: mem.PermRWX}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Write(mem.PrivSMM, img.TextBase, img.Text); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mem.Map("kdata", img.DataBase, 4096, mem.Perms{Kernel: mem.PermRW, SMM: mem.PermRWX}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Write(mem.PrivSMM, img.DataBase, img.Data); err != nil {
+		t.Fatal(err)
+	}
+	return m, img
+}
+
+func entry(t *testing.T, img *isa.Image, name string) uint64 {
+	t.Helper()
+	s, ok := img.Symbols.Lookup(name)
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	return s.Addr
+}
+
+func TestCallOnVCPU(t *testing.T) {
+	m, img := newTestMachine(t, 2)
+	got, err := m.VCPU(0).Call(entry(t, img, "addmul"), 1000, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Errorf("addmul(2,3) = %d, want 15", got)
+	}
+}
+
+func TestConcurrentCallsAcrossVCPUs(t *testing.T) {
+	m, img := newTestMachine(t, 4)
+	e := entry(t, img, "bump")
+	var wg sync.WaitGroup
+	const perCPU = 50
+	for i := 0; i < m.NumVCPUs(); i++ {
+		wg.Add(1)
+		go func(v *VCPU) {
+			defer wg.Done()
+			for j := 0; j < perCPU; j++ {
+				if _, err := v.Call(e, 10000); err != nil {
+					t.Errorf("bump: %v", err)
+					return
+				}
+			}
+		}(m.VCPU(i))
+	}
+	wg.Wait()
+	sym, _ := img.Symbols.Lookup("counter")
+	// NOTE: bump is not atomic; with multiple vCPUs updates may race
+	// (exactly as unlocked kernel code would). The counter must be
+	// positive and at most the total number of calls.
+	v, err := m.Mem.ReadU64(mem.PrivKernel, sym.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 || v > perCPU*uint64(m.NumVCPUs()) {
+		t.Errorf("counter = %d out of range", v)
+	}
+}
+
+func TestPauseQuiescesMachine(t *testing.T) {
+	m, img := newTestMachine(t, 4)
+	e := entry(t, img, "spinny")
+
+	var running atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < m.NumVCPUs(); i++ {
+		wg.Add(1)
+		go func(v *VCPU) {
+			defer wg.Done()
+			running.Add(1)
+			defer running.Add(-1)
+			if _, err := v.Call(e, 1<<30, 300_000); err != nil {
+				t.Errorf("spinny: %v", err)
+			}
+		}(m.VCPU(i))
+	}
+
+	// Let them get going, then pause and check quiescence: vCPU states
+	// must not change while paused.
+	time.Sleep(5 * time.Millisecond)
+	m.Pause()
+	if !m.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+	s1 := m.States()
+	time.Sleep(5 * time.Millisecond)
+	s2 := m.States()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("vcpu %d state changed while paused", i)
+		}
+	}
+	m.Resume()
+	wg.Wait()
+}
+
+func TestStateSaveRestoreAcrossPause(t *testing.T) {
+	m, img := newTestMachine(t, 2)
+	e := entry(t, img, "spinny")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.VCPU(0).Call(e, 1<<30, 300_000)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+
+	m.Pause()
+	states := m.States()
+	// Clobber registers (as a handler bug would), then restore.
+	m.VCPU(0).cpu.Reg[1] = 0xdead
+	if err := m.RestoreStates(states); err != nil {
+		t.Fatal(err)
+	}
+	m.Resume()
+	if err := <-done; err != nil {
+		t.Fatalf("session failed after pause/restore: %v", err)
+	}
+
+	if err := m.RestoreStates(states[:1]); err == nil {
+		t.Error("RestoreStates with wrong count succeeded")
+	}
+}
+
+func TestRepeatedPauseResume(t *testing.T) {
+	m, img := newTestMachine(t, 2)
+	e := entry(t, img, "bump")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := m.VCPU(0).Call(e, 10000); err != nil {
+					t.Errorf("bump: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		m.Pause()
+		m.Resume()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentPausersSerialize(t *testing.T) {
+	m, _ := newTestMachine(t, 2)
+	var inHandler atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Pause()
+			if n := inHandler.Add(1); n != 1 {
+				t.Errorf("%d pausers active simultaneously", n)
+			}
+			time.Sleep(100 * time.Microsecond)
+			inHandler.Add(-1)
+			m.Resume()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStop(t *testing.T) {
+	m, img := newTestMachine(t, 1)
+	e := entry(t, img, "bump")
+	if _, err := m.VCPU(0).Call(e, 1000); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	if _, err := m.VCPU(0).Call(e, 1000); err != ErrStopped {
+		t.Errorf("Call after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	m, img := newTestMachine(t, 1)
+	if _, err := m.VCPU(0).Call(entry(t, img, "bump"), 10, 1, 2, 3, 4, 5, 6); err == nil {
+		t.Error("six args accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if m.NumVCPUs() != 4 {
+		t.Errorf("default vCPUs = %d, want 4", m.NumVCPUs())
+	}
+	if m.Mem.Size() != DefaultPhysSize {
+		t.Errorf("default phys size = %d", m.Mem.Size())
+	}
+}

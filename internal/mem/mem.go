@@ -1,0 +1,390 @@
+// Package mem models the physical memory of the simulated target
+// machine, including page-attribute access control enforced per
+// privilege level.
+//
+// KShot's security argument depends on hardware-enforced answers to the
+// question "who may read, write, or execute this physical region?":
+// SMRAM is only reachable from System Management Mode, the Enclave Page
+// Cache is only reachable from enclave mode, and the reserved KShot
+// region is split into read/write, write-only, and execute-only parts
+// (mem_RW, mem_W, mem_X) from the kernel's point of view. This package
+// enforces exactly those checks in software so that a forbidden access
+// faults the same way the hardware would.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Priv is the privilege level performing an access. It mirrors the four
+// execution contexts that matter to KShot: untrusted userspace, the
+// (possibly compromised) kernel, SGX enclave mode, and SMM.
+type Priv int
+
+// Privilege levels, ordered least to most privileged. The ordering is
+// informational only: access decisions come from the region attribute
+// table, never from numeric comparison, because real SGX/SMM privileges
+// are not a strict hierarchy (the kernel cannot read the EPC even
+// though it is "more privileged" than an enclave).
+const (
+	PrivUser Priv = iota + 1
+	PrivKernel
+	PrivEnclave
+	PrivSMM
+
+	numPriv = 5 // array dimension; index 0 unused
+)
+
+// String returns the conventional name of the privilege level.
+func (p Priv) String() string {
+	switch p {
+	case PrivUser:
+		return "user"
+	case PrivKernel:
+		return "kernel"
+	case PrivEnclave:
+		return "enclave"
+	case PrivSMM:
+		return "smm"
+	default:
+		return fmt.Sprintf("priv(%d)", int(p))
+	}
+}
+
+// Access is the kind of memory access being attempted.
+type Access int
+
+// Access kinds.
+const (
+	Read Access = iota + 1
+	Write
+	Execute
+)
+
+// String returns the access kind name.
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// Perm is a permission bitmask attached to a region for one privilege
+// level.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+
+	PermNone Perm = 0
+	PermRW        = PermR | PermW
+	PermRX        = PermR | PermX
+	PermRWX       = PermR | PermW | PermX
+)
+
+// String renders the permission as an "rwx"-style triple.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// allows reports whether the permission admits the given access kind.
+func (p Perm) allows(a Access) bool {
+	switch a {
+	case Read:
+		return p&PermR != 0
+	case Write:
+		return p&PermW != 0
+	case Execute:
+		return p&PermX != 0
+	default:
+		return false
+	}
+}
+
+// Fault describes a rejected or unmapped memory access. It is returned
+// as an error from Physical access methods and can be matched with
+// errors.As.
+type Fault struct {
+	Priv   Priv
+	Access Access
+	Addr   uint64
+	Region string // region name, or "" if the address is unmapped
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Region == "" {
+		return fmt.Sprintf("memory fault: %s %s at %#x: unmapped", f.Priv, f.Access, f.Addr)
+	}
+	return fmt.Sprintf("memory fault: %s %s at %#x: denied by region %q", f.Priv, f.Access, f.Addr, f.Region)
+}
+
+// Region is a contiguous range of physical memory with per-privilege
+// access permissions.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+
+	perms [numPriv]Perm
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.End() }
+
+// PermFor returns the permissions the region grants to the given
+// privilege level.
+func (r *Region) PermFor(p Priv) Perm {
+	if p <= 0 || int(p) >= numPriv {
+		return PermNone
+	}
+	return r.perms[p]
+}
+
+// Perms describes per-privilege permissions when creating or updating a
+// region. Omitted levels default to no access.
+type Perms struct {
+	User    Perm
+	Kernel  Perm
+	Enclave Perm
+	SMM     Perm
+}
+
+func (ps Perms) table() [numPriv]Perm {
+	var t [numPriv]Perm
+	t[PrivUser] = ps.User
+	t[PrivKernel] = ps.Kernel
+	t[PrivEnclave] = ps.Enclave
+	t[PrivSMM] = ps.SMM
+	return t
+}
+
+// Physical is the machine's physical memory: a flat byte array overlaid
+// with access-controlled regions. The zero value is unusable; construct
+// with New.
+//
+// Physical is safe for concurrent use. All vCPUs, the SMM handler and
+// enclave threads share one Physical.
+type Physical struct {
+	mu      sync.RWMutex
+	data    []byte
+	regions []*Region // sorted by Base, non-overlapping
+}
+
+// New creates a physical memory of the given size with no mapped
+// regions. Every access faults until regions are mapped.
+func New(size uint64) *Physical {
+	return &Physical{data: make([]byte, size)}
+}
+
+// Size returns the total physical memory size in bytes.
+func (m *Physical) Size() uint64 { return uint64(len(m.data)) }
+
+// Map adds a region. It returns an error if the range is out of bounds
+// or overlaps an existing region.
+func (m *Physical) Map(name string, base, size uint64, ps Perms) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("map %q: zero size", name)
+	}
+	if base+size < base || base+size > uint64(len(m.data)) {
+		return nil, fmt.Errorf("map %q: range [%#x,%#x) exceeds physical memory of %#x bytes",
+			name, base, base+size, len(m.data))
+	}
+	r := &Region{Name: name, Base: base, Size: size, perms: ps.table()}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, other := range m.regions {
+		if base < other.End() && other.Base < r.End() {
+			return nil, fmt.Errorf("map %q: overlaps region %q [%#x,%#x)",
+				name, other.Name, other.Base, other.End())
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return r, nil
+}
+
+// Unmap removes the named region. Its memory contents are preserved but
+// become unreachable until remapped.
+func (m *Physical) Unmap(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.regions {
+		if r.Name == name {
+			m.regions = append(m.regions[:i], m.regions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("unmap %q: no such region", name)
+}
+
+// Region returns the named region, or nil if absent.
+func (m *Physical) Region(name string) *Region {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns a snapshot of all mapped regions in address order.
+func (m *Physical) Regions() []*Region {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// SetPerms atomically replaces the permission table of the named
+// region. This models firmware/boot-time attribute changes and the
+// SMRAM lock; callers in the simulation are trusted code (boot or SMM).
+func (m *Physical) SetPerms(name string, ps Perms) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.regions {
+		if r.Name == name {
+			r.perms = ps.table()
+			return nil
+		}
+	}
+	return fmt.Errorf("set perms %q: no such region", name)
+}
+
+// regionAt returns the region containing addr. Caller must hold mu.
+func (m *Physical) regionAt(addr uint64) *Region {
+	// Binary search over sorted, non-overlapping regions.
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := m.regions[mid]
+		switch {
+		case addr < r.Base:
+			hi = mid
+		case addr >= r.End():
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}
+
+// access validates and performs a read (dst != nil) or write
+// (src != nil) of n bytes at addr on behalf of priv. Accesses may span
+// multiple adjacent regions; every byte must be mapped and permitted.
+func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) error {
+	n := uint64(len(dst))
+	if src != nil {
+		n = uint64(len(src))
+	}
+	if n == 0 {
+		return nil
+	}
+	if addr+n < addr || addr+n > uint64(len(m.data)) {
+		return &Fault{Priv: priv, Access: kind, Addr: addr}
+	}
+
+	// Reads share the lock; writes take it exclusively so concurrent
+	// vCPU accesses to overlapping bytes serialize per access (the
+	// simulated kernel can still exhibit instruction-level races, but
+	// the simulator itself stays data-race free).
+	if src != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	} else {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+	}
+
+	// Validate the whole span first so partial effects never occur.
+	for cur := addr; cur < addr+n; {
+		r := m.regionAt(cur)
+		if r == nil {
+			return &Fault{Priv: priv, Access: kind, Addr: cur}
+		}
+		if !r.PermFor(priv).allows(kind) {
+			return &Fault{Priv: priv, Access: kind, Addr: cur, Region: r.Name}
+		}
+		cur = r.End()
+	}
+
+	if dst != nil {
+		copy(dst, m.data[addr:addr+n])
+	} else {
+		copy(m.data[addr:addr+n], src)
+	}
+	return nil
+}
+
+// Read copies len(dst) bytes from addr into dst on behalf of priv.
+func (m *Physical) Read(priv Priv, addr uint64, dst []byte) error {
+	return m.access(priv, Read, addr, dst, nil)
+}
+
+// Write copies src into memory at addr on behalf of priv.
+func (m *Physical) Write(priv Priv, addr uint64, src []byte) error {
+	return m.access(priv, Write, addr, nil, src)
+}
+
+// Fetch copies len(dst) instruction bytes from addr into dst on behalf
+// of priv, checking execute permission. It is used by the CPU
+// interpreter's instruction fetch.
+func (m *Physical) Fetch(priv Priv, addr uint64, dst []byte) error {
+	return m.access(priv, Execute, addr, dst, nil)
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (m *Physical) ReadU64(priv Priv, addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := m.Read(priv, addr, b[:]); err != nil {
+		return 0, err
+	}
+	return leU64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (m *Physical) WriteU64(priv Priv, addr uint64, v uint64) error {
+	var b [8]byte
+	putLEU64(b[:], v)
+	return m.Write(priv, addr, b[:])
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLEU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

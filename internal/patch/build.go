@@ -1,0 +1,304 @@
+package patch
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"kshot/internal/binmatch"
+	"kshot/internal/callgraph"
+	"kshot/internal/isa"
+)
+
+// ImagePair couples a built kernel image with its source unit — what
+// the patch server has for both the pre-patch and post-patch builds.
+type ImagePair struct {
+	Img  *isa.Image
+	Unit *isa.Unit
+}
+
+// Build produces a BinaryPatch from the pre- and post-patch kernel
+// builds, combining the paper's three analyses:
+//
+//   - source-level diff: which functions' source changed;
+//   - call-graph comparison + inlining worklist (§V-A): which binary
+//     functions those changes implicate through inlining;
+//   - binary signature matching (iBinHunt/FIBER-style): which binary
+//     functions actually differ, catching anything the source-level
+//     view misses.
+//
+// The union of implicated and binary-changed functions is patched;
+// functions added by the fix ship as new payloads.
+func Build(id, kernelVersion string, pre, post ImagePair) (*BinaryPatch, error) {
+	bp := &BinaryPatch{ID: id, KernelVersion: kernelVersion}
+
+	// Source-level diff.
+	srcChanged := diffSourceFuncs(pre.Unit, post.Unit)
+
+	// Inlining closure over the post build (payloads come from post).
+	srcGraph := callgraph.FromSource(post.Unit)
+	binGraph, err := callgraph.FromBinary(post.Img)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", id, err)
+	}
+	implicated := callgraph.Implicated(srcChanged, srcGraph, binGraph)
+	implicatedSet := toSet(implicated)
+	srcChangedSet := toSet(srcChanged)
+
+	// Binary-level diff.
+	bd, err := binmatch.DiffImages(pre.Img, post.Img)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", id, err)
+	}
+
+	// Global variable analysis (Type 3).
+	editedGlobals, warnings := diffGlobals(pre, post)
+	bp.Globals = editedGlobals
+	bp.Warnings = warnings
+	touchedGlobals := map[string]bool{}
+	for _, g := range editedGlobals {
+		touchedGlobals[g.Name] = true
+	}
+
+	// Assemble the target set: implicated ∪ binary-changed, plus new
+	// functions the patched code calls.
+	targets := map[string]bool{}
+	for name := range implicatedSet {
+		targets[name] = true
+	}
+	for _, name := range bd.Changed {
+		targets[name] = true
+	}
+	newFuncs := map[string]bool{}
+	for _, name := range bd.Added {
+		// A function absent from the running kernel ships as a new
+		// payload even if the analyses also flagged it as changed.
+		newFuncs[name] = true
+		delete(targets, name)
+	}
+
+	names := make([]string, 0, len(targets)+len(newFuncs))
+	for n := range targets {
+		names = append(names, n)
+	}
+	for n := range newFuncs {
+		names = append(names, n)
+	}
+	// Deterministic order: by post-image address, so mem_X placement
+	// follows the paper's cumulative layout.
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := post.Img.Symbols.Lookup(names[i])
+		b, _ := post.Img.Symbols.Lookup(names[j])
+		return a.Addr < b.Addr
+	})
+
+	for _, name := range names {
+		isNew := newFuncs[name]
+		fp, err := buildFuncPatch(pre, post, name, isNew)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", id, err)
+		}
+		fp.Type = classify(name, isNew, srcChangedSet, implicatedSet, touchedGlobals, post)
+		bp.Funcs = append(bp.Funcs, *fp)
+	}
+	if len(bp.Funcs) == 0 && len(bp.Globals) == 0 {
+		return nil, fmt.Errorf("build %s: pre and post builds are identical", id)
+	}
+	return bp, nil
+}
+
+// classify assigns the paper's Type 1/2/3 label to one function.
+func classify(name string, isNew bool, srcChanged, implicated, touchedGlobals map[string]bool, post ImagePair) Type {
+	// Type 3 wins when the function touches an edited global.
+	if referencesGlobals(post, name, touchedGlobals) {
+		return Type3
+	}
+	// Directly changed at source level (or brand new): Type 1.
+	if srcChanged[name] || isNew {
+		return Type1
+	}
+	// Otherwise the function is only implicated through folded-in
+	// changes: Type 2.
+	return Type2
+}
+
+func referencesGlobals(post ImagePair, fn string, globals map[string]bool) bool {
+	if len(globals) == 0 {
+		return false
+	}
+	code, err := post.Img.FuncBytes(fn)
+	if err != nil {
+		return false
+	}
+	sym, _ := post.Img.Symbols.Lookup(fn)
+	decoded, err := isa.Disassemble(code, sym.Addr)
+	if err != nil {
+		return false
+	}
+	for _, d := range decoded {
+		switch d.Inst.Op {
+		case isa.OpMovi, isa.OpLoadg, isa.OpStrg:
+			if s, ok := post.Img.Symbols.At(uint64(d.Inst.Imm)); ok && globals[s.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildFuncPatch extracts one function's payload from the post image
+// and computes its relocation table.
+func buildFuncPatch(pre, post ImagePair, name string, isNew bool) (*FuncPatch, error) {
+	sym, ok := post.Img.Symbols.Lookup(name)
+	if !ok || sym.Kind != isa.SymFunc {
+		return nil, fmt.Errorf("func %s: not in post image", name)
+	}
+	code, err := post.Img.FuncBytes(name)
+	if err != nil {
+		return nil, err
+	}
+
+	fp := &FuncPatch{Name: name, New: isNew}
+
+	// Replacement functions reached via trampoline: the original entry
+	// (including its ftrace prologue) stays in place, so strip the
+	// payload's own prologue. New functions keep theirs (relocated).
+	skip := 0
+	if !isNew {
+		preSym, ok := pre.Img.Symbols.Lookup(name)
+		if !ok || preSym.Kind != isa.SymFunc {
+			return nil, fmt.Errorf("func %s: not in running kernel", name)
+		}
+		fp.Traced = preSym.Traced
+		if sym.Traced {
+			skip = isa.FtracePrologueLen
+		}
+	}
+
+	payloadStart := sym.Addr + uint64(skip)
+	payload := append([]byte(nil), code[skip:]...)
+	fp.Payload = payload
+
+	decoded, err := isa.Disassemble(payload, payloadStart)
+	if err != nil {
+		return nil, fmt.Errorf("func %s: %w", name, err)
+	}
+	payloadEnd := sym.Addr + sym.Size
+	for _, d := range decoded {
+		off := int(d.Addr - payloadStart)
+		switch {
+		case d.Inst.Op.IsBranch():
+			tgt, _ := d.BranchTarget()
+			if tgt >= payloadStart && tgt < payloadEnd {
+				// Internal branch: relative displacement survives the
+				// move to mem_X unchanged.
+				continue
+			}
+			if tgt >= sym.Addr && tgt < payloadStart {
+				return nil, fmt.Errorf("func %s: branch at %#x targets the ftrace prologue", name, d.Addr)
+			}
+			tsym, ok := post.Img.Symbols.At(tgt)
+			if !ok {
+				return nil, fmt.Errorf("func %s: branch at %#x targets unmapped %#x", name, d.Addr, tgt)
+			}
+			fp.Relocs = append(fp.Relocs, Reloc{
+				Offset: off + 1, // rel32 field follows the opcode byte
+				Kind:   RelocBranch,
+				Sym:    tsym.Name,
+				Addend: int64(tgt - tsym.Addr),
+			})
+		case d.Inst.Op == isa.OpMovi, d.Inst.Op == isa.OpLoadg, d.Inst.Op == isa.OpStrg:
+			if tsym, ok := post.Img.Symbols.At(uint64(d.Inst.Imm)); ok {
+				fp.Relocs = append(fp.Relocs, Reloc{
+					Offset: off + 2, // imm64 follows opcode + register byte
+					Kind:   RelocAbs64,
+					Sym:    tsym.Name,
+					Addend: int64(uint64(d.Inst.Imm) - tsym.Addr),
+				})
+			}
+		}
+	}
+	return fp, nil
+}
+
+// diffSourceFuncs returns the names of functions whose source text
+// differs between the two units (including functions only in post).
+func diffSourceFuncs(pre, post *isa.Unit) []string {
+	preKeys := map[string]string{}
+	for _, f := range pre.Funcs {
+		preKeys[f.Name] = srcFuncKey(f)
+	}
+	var out []string
+	for _, f := range post.Funcs {
+		if k, ok := preKeys[f.Name]; !ok || k != srcFuncKey(f) {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// srcFuncKey serializes a source function deterministically.
+func srcFuncKey(f *isa.SrcFunc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v:%v\n", f.Inline, f.NoTrace)
+	for _, it := range f.Items {
+		if it.Label != "" {
+			fmt.Fprintf(&b, "%s:\n", it.Label)
+			continue
+		}
+		i := it.Inst
+		fmt.Fprintf(&b, "%d %d/%d/%d/%s %d/%d/%d/%s\n",
+			i.Op, i.A.Kind, i.A.Reg, i.A.Imm, i.A.Sym,
+			i.B.Kind, i.B.Reg, i.B.Imm, i.B.Sym)
+	}
+	return b.String()
+}
+
+// diffGlobals compares the source-level globals of the two builds.
+func diffGlobals(pre, post ImagePair) ([]GlobalEdit, []string) {
+	var edits []GlobalEdit
+	var warnings []string
+	for _, g := range post.Unit.Globals {
+		old := pre.Unit.Global(g.Name)
+		switch {
+		case old == nil:
+			edits = append(edits, GlobalEdit{
+				Name: g.Name,
+				New:  true,
+				Size: g.Size,
+				Init: append([]byte(nil), g.Init...),
+			})
+		case old.Size != g.Size:
+			// Storage layout change: the paper's hard case. Reallocate
+			// and warn — unpatched readers of the old storage keep the
+			// old location.
+			edits = append(edits, GlobalEdit{
+				Name: g.Name,
+				New:  true,
+				Size: g.Size,
+				Init: append([]byte(nil), g.Init...),
+			})
+			warnings = append(warnings, fmt.Sprintf(
+				"global %q resized %d -> %d bytes: reallocated; unpatched readers keep the old storage",
+				g.Name, old.Size, g.Size))
+		case !bytes.Equal(old.Init, g.Init):
+			edits = append(edits, GlobalEdit{
+				Name: g.Name,
+				Size: g.Size,
+				Init: append([]byte(nil), g.Init...),
+			})
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Name < edits[j].Name })
+	return edits, warnings
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,293 @@
+package patch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"kshot/internal/kcrypto"
+)
+
+// Wire format of the patch package passed from the SGX enclave to the
+// SMM handler through mem_W (Figure 3 of the paper). Each function
+// entry carries {sequence, opt, type, flags, taddr, paddr, size, hash,
+// payload, trampoline}; the package ends with a whole-package digest
+// so header tampering is as detectable as payload tampering.
+
+// Wire format constants.
+const (
+	wireMagic   = "KSPK"
+	wireVersion = 1
+
+	// FuncHeaderSize is the fixed per-function header length. The
+	// paper reports 42 bytes of header per function; ours is larger
+	// because we carry a full 32-byte digest and 64-bit addresses.
+	FuncHeaderSize = 2 + 1 + 1 + 8 + 8 + 8 + 8 + 4 + kcrypto.DigestSize
+)
+
+// Flag bits in the function header.
+const (
+	flagNew uint8 = 1 << iota
+	flagTraced
+)
+
+// Package is the decoded wire package as the SMM handler sees it.
+type Package struct {
+	Op            Op
+	HashAlg       kcrypto.HashAlg
+	ID            string
+	KernelVersion string
+	Funcs         []PreparedFunc
+	Globals       []PreparedGlobal
+
+	// FuncHashes holds the header-declared payload digest of each
+	// function, to be compared against a recomputation (§V-C step
+	// one).
+	FuncHashes [][kcrypto.DigestSize]byte
+}
+
+// Marshal encodes a prepared patch into the wire format.
+func Marshal(p *Prepared, op Op, alg kcrypto.HashAlg) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(wireMagic)
+	b.WriteByte(wireVersion)
+	b.WriteByte(byte(op))
+	b.WriteByte(byte(alg))
+	if err := writeStr8(&b, p.ID); err != nil {
+		return nil, err
+	}
+	if err := writeStr8(&b, p.KernelVersion); err != nil {
+		return nil, err
+	}
+	writeU16(&b, uint16(len(p.Funcs)))
+	writeU16(&b, uint16(len(p.Globals)))
+
+	for _, f := range p.Funcs {
+		if len(f.Payload) > 1<<31 {
+			return nil, fmt.Errorf("marshal %s: payload too large", f.Name)
+		}
+		sum, err := kcrypto.Sum(alg, f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		writeU16(&b, f.Seq)
+		b.WriteByte(byte(f.Type))
+		var flags uint8
+		if f.New {
+			flags |= flagNew
+		}
+		if f.Traced {
+			flags |= flagTraced
+		}
+		b.WriteByte(flags)
+		writeU64(&b, f.TAddr)
+		writeU64(&b, f.TSize)
+		writeU64(&b, f.PAddr)
+		writeU64(&b, f.TrampolineAt)
+		writeU32(&b, uint32(len(f.Payload)))
+		b.Write(sum[:])
+		b.Write(f.Payload)
+		if f.TAddr != 0 {
+			if len(f.TrampolineBytes) != 5 {
+				return nil, fmt.Errorf("marshal %s: trampoline must be 5 bytes", f.Name)
+			}
+			b.Write(f.TrampolineBytes)
+		}
+		// Name travels after the fixed header (for journaling and
+		// diagnostics on the SMM side).
+		if err := writeStr8(&b, f.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, g := range p.Globals {
+		if err := writeStr8(&b, g.Name); err != nil {
+			return nil, err
+		}
+		writeU64(&b, g.Addr)
+		writeU32(&b, uint32(len(g.Init)))
+		b.Write(g.Init)
+	}
+
+	// Whole-package digest (always SHA-256: header integrity is not
+	// the ablation's subject).
+	sum, err := kcrypto.Sum(kcrypto.HashSHA256, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	b.Write(sum[:])
+	return b.Bytes(), nil
+}
+
+// Unmarshal decodes and structurally validates a wire package,
+// including the whole-package digest. Per-function payload digests are
+// surfaced for the caller to verify (the SMM handler recomputes them
+// as its own integrity step).
+func Unmarshal(data []byte) (*Package, error) {
+	if len(data) < len(wireMagic)+3+kcrypto.DigestSize {
+		return nil, fmt.Errorf("package: truncated (%d bytes)", len(data))
+	}
+	body := data[:len(data)-kcrypto.DigestSize]
+	var declared [kcrypto.DigestSize]byte
+	copy(declared[:], data[len(body):])
+	sum, err := kcrypto.Sum(kcrypto.HashSHA256, body)
+	if err != nil {
+		return nil, err
+	}
+	if sum != declared {
+		return nil, fmt.Errorf("package: whole-package digest mismatch")
+	}
+
+	r := &reader{buf: body}
+	if string(r.bytes(4)) != wireMagic {
+		return nil, fmt.Errorf("package: bad magic")
+	}
+	if v := r.u8(); v != wireVersion {
+		return nil, fmt.Errorf("package: unsupported version %d", v)
+	}
+	pkg := &Package{}
+	pkg.Op = Op(r.u8())
+	if pkg.Op != OpPatch && pkg.Op != OpRollback {
+		return nil, fmt.Errorf("package: bad op %d", pkg.Op)
+	}
+	pkg.HashAlg = kcrypto.HashAlg(r.u8())
+	pkg.ID = r.str8()
+	pkg.KernelVersion = r.str8()
+	nf := int(r.u16())
+	ng := int(r.u16())
+
+	for i := 0; i < nf; i++ {
+		var f PreparedFunc
+		f.Seq = r.u16()
+		f.Type = Type(r.u8())
+		flags := r.u8()
+		f.New = flags&flagNew != 0
+		f.Traced = flags&flagTraced != 0
+		f.TAddr = r.u64()
+		f.TSize = r.u64()
+		f.PAddr = r.u64()
+		f.TrampolineAt = r.u64()
+		size := int(r.u32())
+		var h [kcrypto.DigestSize]byte
+		copy(h[:], r.bytes(kcrypto.DigestSize))
+		f.Payload = append([]byte(nil), r.bytes(size)...)
+		if f.TAddr != 0 {
+			f.TrampolineBytes = append([]byte(nil), r.bytes(5)...)
+		}
+		f.Name = r.str8()
+		if r.err != nil {
+			return nil, fmt.Errorf("package: func %d: %w", i, r.err)
+		}
+		pkg.Funcs = append(pkg.Funcs, f)
+		pkg.FuncHashes = append(pkg.FuncHashes, h)
+	}
+	for i := 0; i < ng; i++ {
+		var g PreparedGlobal
+		g.Name = r.str8()
+		g.Addr = r.u64()
+		n := int(r.u32())
+		g.Init = append([]byte(nil), r.bytes(n)...)
+		if r.err != nil {
+			return nil, fmt.Errorf("package: global %d: %w", i, r.err)
+		}
+		pkg.Globals = append(pkg.Globals, g)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("package: %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return pkg, nil
+}
+
+// MarshalRollback encodes a rollback command package for the given
+// patch ID.
+func MarshalRollback(id, kernelVersion string) ([]byte, error) {
+	p := &Prepared{ID: id, KernelVersion: kernelVersion}
+	return Marshal(p, OpRollback, kcrypto.HashSHA256)
+}
+
+func writeStr8(b *bytes.Buffer, s string) error {
+	if len(s) > 255 {
+		return fmt.Errorf("string field too long (%d bytes)", len(s))
+	}
+	b.WriteByte(uint8(len(s)))
+	b.WriteString(s)
+	return nil
+}
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+// reader is a bounds-checked sequential decoder.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("truncated at offset %d (want %d bytes)", r.pos, n)
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str8() string {
+	n := int(r.u8())
+	return string(r.bytes(n))
+}

@@ -1,0 +1,170 @@
+// Package patch implements KShot's binary patch pipeline (§V-A, §V-B):
+// building a function-level binary patch from pre-/post-patch kernel
+// images (the remote server's job), the patch package wire format of
+// Figure 3, and the preprocessing that turns a built patch into
+// placement-final executable bytes plus trampoline instructions (the
+// SGX enclave's job).
+//
+// The package is pure logic — no enclave, SMM, or network dependencies
+// — so the pipeline is testable end-to-end in isolation; the sgxprep
+// and smmpatch packages wrap it in their respective trusted
+// environments.
+package patch
+
+import "fmt"
+
+// Type classifies a patched function per the paper's three categories.
+type Type int
+
+// Patch types (§V-A).
+const (
+	// Type1 functions are directly changed, present in the binary, and
+	// involve no inlining.
+	Type1 Type = 1
+	// Type2 functions are implicated through compiler inlining: the
+	// changed code was expanded into them.
+	Type2 Type = 2
+	// Type3 functions additionally depend on changed global or shared
+	// variables.
+	Type3 Type = 3
+)
+
+// String returns "1", "2" or "3".
+func (t Type) String() string { return fmt.Sprintf("%d", int(t)) }
+
+// Op is the operation field of a patch package.
+type Op uint8
+
+// Package operations (§V-C: "we check the operation field in the
+// package").
+const (
+	OpPatch Op = iota + 1
+	OpRollback
+)
+
+// RelocKind classifies a payload fix-up.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelocBranch patches a rel32 branch displacement (call/jmp/jcc to
+	// a symbol outside the patched function).
+	RelocBranch RelocKind = iota + 1
+	// RelocAbs64 patches a 64-bit absolute address operand
+	// (movi @sym, loadg, storeg).
+	RelocAbs64
+)
+
+// Reloc records one deferred fix-up in a function payload: the operand
+// at Offset must be rewritten once the payload's final address and the
+// target symbol's address in the *running* kernel are known.
+type Reloc struct {
+	Offset int // byte offset of the operand field within Payload
+	Kind   RelocKind
+	Sym    string // target symbol name
+	Addend int64  // byte offset from the symbol's base address
+}
+
+// FuncPatch is one function's binary patch as built by the server.
+type FuncPatch struct {
+	// Name is the target function's symbol name.
+	Name string
+
+	// Type is the paper's classification for this function.
+	Type Type
+
+	// New marks a function added by the patch: it has no counterpart
+	// in the running kernel (TAddr resolution is skipped) and is
+	// reached only through relocated calls from other payloads.
+	New bool
+
+	// Traced reports whether the function carries the 5-byte ftrace
+	// prologue in the running (pre-patch) kernel, so the trampoline
+	// must be placed after it (§V-A "Supporting Kernel Tracing").
+	Traced bool
+
+	// Payload is the post-patch function body (prologue stripped for
+	// replacement functions), with post-image operand values still in
+	// place; Relocs lists the operands needing rewriting.
+	Payload []byte
+
+	// Relocs are the deferred fix-ups into Payload.
+	Relocs []Reloc
+}
+
+// GlobalEdit describes a data-segment change the patch requires
+// (§V-C step two: "check if any global variable needs to be changed in
+// the kernel data or bss segment").
+type GlobalEdit struct {
+	// Name is the variable's symbol name.
+	Name string
+
+	// New marks a variable that does not exist in the running kernel
+	// and must be allocated by the preprocessing step.
+	New bool
+
+	// Size is the variable's byte size.
+	Size uint64
+
+	// Init is the initial contents to install (nil to leave the
+	// current value in place for existing variables, zeros for new).
+	Init []byte
+}
+
+// BinaryPatch is the server's product: everything needed to patch one
+// kernel, still independent of the target's memory placement.
+type BinaryPatch struct {
+	// ID identifies the fix (e.g. the CVE number).
+	ID string
+
+	// KernelVersion is the version the patch was built for; applying
+	// it to another build is rejected.
+	KernelVersion string
+
+	// Funcs are the function patches, in deterministic order.
+	Funcs []FuncPatch
+
+	// Globals are the data-segment edits.
+	Globals []GlobalEdit
+
+	// Warnings records analysis findings that make the patch risky
+	// (e.g. a size-changed shared variable — the storage-layout case
+	// the paper's §V-A flags as failure-prone).
+	Warnings []string
+}
+
+// PayloadBytes returns the total payload size across all functions —
+// the "patch size" axis of the paper's Tables II/III.
+func (bp *BinaryPatch) PayloadBytes() int {
+	n := 0
+	for _, f := range bp.Funcs {
+		n += len(f.Payload)
+	}
+	return n
+}
+
+// Types returns the distinct patch types present, ascending — the
+// "Type" column of Table I.
+func (bp *BinaryPatch) Types() []Type {
+	seen := map[Type]bool{}
+	for _, f := range bp.Funcs {
+		seen[f.Type] = true
+	}
+	var out []Type
+	for _, t := range []Type{Type1, Type2, Type3} {
+		if seen[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FuncNames returns the patched function names in order — the
+// "Affected Functions" column of Table I.
+func (bp *BinaryPatch) FuncNames() []string {
+	out := make([]string, len(bp.Funcs))
+	for i, f := range bp.Funcs {
+		out[i] = f.Name
+	}
+	return out
+}

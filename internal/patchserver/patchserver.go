@@ -1,0 +1,425 @@
+// Package patchserver implements KShot's remote Patch Server and its
+// client protocol (§IV, §V-A): the target uploads its OS information
+// (version, build configuration, enclave measurement); the server
+// verifies the enclave identity (the MITM mitigation of §V-C),
+// establishes an encrypted channel to it, rebuilds pre- and post-patch
+// kernels with the target's exact configuration, extracts the
+// function-level binary diff, and ships it encrypted; finally, the
+// target's status reports let the server detect stalled patch
+// deployments (the DoS-detection handshake of §V-D).
+//
+// The wire protocol is length-framed gob over TCP (stdlib net).
+package patchserver
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"kshot/internal/kcrypto"
+	"kshot/internal/kernel"
+	"kshot/internal/patch"
+	"kshot/internal/sgx"
+	"kshot/internal/sgxprep"
+)
+
+// OSInfo is what the target machine reports about itself — enough for
+// the server to rebuild a bit-identical kernel binary.
+type OSInfo struct {
+	Version string
+	Ftrace  bool
+	Inline  bool
+}
+
+// Request/response message kinds.
+const (
+	kindHello  = "hello"
+	kindPatch  = "patch"
+	kindStatus = "status"
+)
+
+type request struct {
+	Kind string
+
+	// hello
+	Info        OSInfo
+	Measurement sgx.Measurement
+	// AttKey is the status-attestation HMAC key the target provisioned
+	// into its SMM handler, so the server can authenticate deployment
+	// confirmations. (The hello channel is assumed transport-protected,
+	// as the paper assumes encrypted server communication.)
+	AttKey []byte
+
+	// patch
+	CVE string
+
+	// status
+	Code   uint32
+	Seq    uint64
+	Digest []byte
+	MAC    []byte
+}
+
+type response struct {
+	Err string
+
+	// hello
+	ServerKey []byte
+
+	// patch
+	Blob []byte
+}
+
+// TreeProvider returns the full kernel source tree for a version —
+// the distro vendor's copy, which must match what the target runs.
+type TreeProvider func(version string) (*kernel.SourceTree, error)
+
+// Server is the remote patch server.
+type Server struct {
+	ln    net.Listener
+	trees TreeProvider
+
+	mu       sync.Mutex
+	patches  map[string]kernel.SourcePatch
+	statuses []StatusReport
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// StatusReport is one target status received by the server.
+type StatusReport struct {
+	Code   uint32
+	Seq    uint64
+	Digest []byte
+	At     time.Time
+
+	// Authentic reports whether the record's HMAC verified under the
+	// attestation key the target registered at hello. A forged
+	// confirmation (a kernel attacker scribbling on the mem_RW mailbox
+	// to mask a suppressed deployment) arrives with Authentic=false.
+	Authentic bool
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral
+// port). Close it when done.
+func NewServer(addr string, trees TreeProvider) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("patchserver: %w", err)
+	}
+	s := &Server{ln: ln, trees: trees, patches: make(map[string]kernel.SourcePatch)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// RegisterPatch adds a source patch (a CVE fix) to the server's
+// catalogue.
+func (s *Server) RegisterPatch(p kernel.SourcePatch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.patches[p.ID] = p
+}
+
+// Statuses returns the status reports received so far.
+func (s *Server) Statuses() []StatusReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StatusReport(nil), s.statuses...)
+}
+
+// AwaitStatus waits for a target status report with sequence number
+// greater than `after`. Returning ok=false after the timeout is the
+// paper's DoS detection (§V-D): the server initiated a patch, but the
+// target's helper never confirmed deployment — an attacker is likely
+// suppressing the patching flow and the operator should intervene.
+func (s *Server) AwaitStatus(after uint64, timeout time.Duration) (StatusReport, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		for _, st := range s.statuses {
+			if st.Seq > after {
+				s.mu.Unlock()
+				return st, true
+			}
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return StatusReport{}, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the server and waits for connection handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// session is the per-connection state: the registered target.
+type session struct {
+	info      OSInfo
+	serverKey []byte
+	crypt     *kcrypto.Session
+	attKey    []byte
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var sess *session
+
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		resp := s.handle(&sess, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(sess **session, req *request) *response {
+	switch req.Kind {
+	case kindHello:
+		return s.handleHello(sess, req)
+	case kindPatch:
+		return s.handlePatch(*sess, req)
+	case kindStatus:
+		rep := StatusReport{
+			Code: req.Code, Seq: req.Seq,
+			Digest: append([]byte(nil), req.Digest...),
+			At:     time.Now(),
+		}
+		if sess := *sess; sess != nil && len(sess.attKey) > 0 && len(req.MAC) == kcrypto.DigestSize {
+			buf := make([]byte, 12+len(req.Digest))
+			binary.LittleEndian.PutUint32(buf, req.Code)
+			binary.LittleEndian.PutUint64(buf[4:], req.Seq)
+			copy(buf[12:], req.Digest)
+			var mac [kcrypto.DigestSize]byte
+			copy(mac[:], req.MAC)
+			rep.Authentic = kcrypto.VerifyMAC(sess.attKey, buf, mac)
+		}
+		s.mu.Lock()
+		s.statuses = append(s.statuses, rep)
+		s.mu.Unlock()
+		return &response{}
+	default:
+		return &response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+}
+
+func (s *Server) handleHello(sess **session, req *request) *response {
+	// Verify the enclave identity: a genuine KShot preparation enclave
+	// for the reported kernel version has a known measurement. This is
+	// how the server refuses to provision keys to an impostor enclave
+	// (§V-C's MITM mitigation).
+	expected := sgx.MeasureIdentity(sgxprep.Identity(req.Info.Version))
+	if req.Measurement != expected {
+		return &response{Err: "enclave attestation failed: unexpected measurement"}
+	}
+	if _, err := s.trees(req.Info.Version); err != nil {
+		return &response{Err: fmt.Sprintf("unsupported kernel: %v", err)}
+	}
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return &response{Err: "server entropy failure"}
+	}
+	crypt, err := kcrypto.NewSession(key, nil)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	*sess = &session{
+		info: req.Info, serverKey: key, crypt: crypt,
+		attKey: append([]byte(nil), req.AttKey...),
+	}
+	return &response{ServerKey: key}
+}
+
+func (s *Server) handlePatch(sess *session, req *request) *response {
+	if sess == nil {
+		return &response{Err: "hello required before patch requests"}
+	}
+	blob, err := s.BuildPatchBlob(sess.info, req.CVE, sess.crypt)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	return &response{Blob: blob}
+}
+
+// BuildPatchBlob rebuilds pre/post kernels with the target's exact
+// configuration, extracts the binary patch, and encrypts it for the
+// enclave. Exposed for in-process use by benchmarks that bypass TCP.
+func (s *Server) BuildPatchBlob(info OSInfo, cve string, crypt *kcrypto.Session) ([]byte, error) {
+	s.mu.Lock()
+	sp, ok := s.patches[cve]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no patch registered for %q", cve)
+	}
+	pre, err := s.trees(info.Version)
+	if err != nil {
+		return nil, err
+	}
+	// Apply the target's build configuration knobs.
+	cfg := pre.Config()
+	cfg.Ftrace = info.Ftrace
+	cfg.Inline = info.Inline
+	preTree := kernel.NewSourceTree(cfg)
+	for _, f := range pre.Files() {
+		src, _ := pre.File(f)
+		preTree.AddFile(f, src)
+	}
+	preImg, preUnit, err := preTree.Build()
+	if err != nil {
+		return nil, fmt.Errorf("pre build: %w", err)
+	}
+	postTree := preTree.Clone()
+	if err := postTree.Apply(sp); err != nil {
+		return nil, err
+	}
+	postImg, postUnit, err := postTree.Build()
+	if err != nil {
+		return nil, fmt.Errorf("post build: %w", err)
+	}
+	bp, err := patch.Build(cve, info.Version, patch.ImagePair{Img: preImg, Unit: preUnit}, patch.ImagePair{Img: postImg, Unit: postUnit})
+	if err != nil {
+		return nil, err
+	}
+	plain, err := gobEncode(bp)
+	if err != nil {
+		return nil, err
+	}
+	return crypt.Encrypt(plain)
+}
+
+// Client is the target machine's connection to the patch server. Its
+// methods are invoked by the untrusted helper application; everything
+// it carries is ciphertext or public.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// Dial connects to the server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("patchserver dial: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("patchserver send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("patchserver recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New("patchserver: " + resp.Err)
+	}
+	return &resp, nil
+}
+
+// Hello registers the target's OS information and enclave measurement
+// and returns the server→enclave channel key (provisioned under the
+// attested measurement).
+func (c *Client) Hello(info OSInfo, meas sgx.Measurement) ([]byte, error) {
+	return c.HelloWithAttestation(info, meas, nil)
+}
+
+// HelloWithAttestation additionally registers the target's
+// status-attestation key so the server can authenticate deployment
+// confirmations.
+func (c *Client) HelloWithAttestation(info OSInfo, meas sgx.Measurement, attKey []byte) ([]byte, error) {
+	resp, err := c.roundTrip(&request{Kind: kindHello, Info: info, Measurement: meas, AttKey: attKey})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.ServerKey) != 32 {
+		return nil, errors.New("patchserver: malformed server key")
+	}
+	return resp.ServerKey, nil
+}
+
+// FetchPatch downloads the encrypted binary patch for a CVE.
+func (c *Client) FetchPatch(cve string) ([]byte, error) {
+	resp, err := c.roundTrip(&request{Kind: kindPatch, CVE: cve})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// ReportStatus forwards the SMM status mailbox to the server (the
+// deployment-progress handshake the server uses for DoS detection).
+func (c *Client) ReportStatus(code uint32, seq uint64, digest []byte) error {
+	return c.ReportStatusMAC(code, seq, digest, nil)
+}
+
+// ReportStatusMAC forwards a status record together with its HMAC.
+func (c *Client) ReportStatusMAC(code uint32, seq uint64, digest, mac []byte) error {
+	_, err := c.roundTrip(&request{Kind: kindStatus, Code: code, Seq: seq, Digest: digest, MAC: mac})
+	return err
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var b netBuffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, err
+	}
+	return b.data, nil
+}
+
+// netBuffer is a minimal io.Writer over a byte slice.
+type netBuffer struct{ data []byte }
+
+func (b *netBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

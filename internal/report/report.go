@@ -1,0 +1,208 @@
+// Package report renders the evaluation's tables and figures as
+// aligned ASCII tables, CSV, and ASCII bar charts, used by the
+// benchmark harness and the kshot-bench command to regenerate every
+// table and figure of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is an aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(note string) {
+	t.notes = append(t.notes, note)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", wd, c)
+		}
+		b.WriteString("|\n")
+	}
+	sep := func() {
+		for _, wd := range widths {
+			b.WriteString("|" + strings.Repeat("-", wd+2))
+		}
+		b.WriteString("|\n")
+	}
+	sep()
+	line(t.Headers)
+	sep()
+	for _, row := range t.rows {
+		line(row)
+	}
+	sep()
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Us formats a duration in microseconds the way the paper's tables do.
+func Us(d time.Duration) string {
+	us := float64(d.Nanoseconds()) / 1000
+	switch {
+	case us >= 1000:
+		return fmt.Sprintf("%.0f", us)
+	case us >= 10:
+		return fmt.Sprintf("%.1f", us)
+	default:
+		return fmt.Sprintf("%.2f", us)
+	}
+}
+
+// Bytes humanizes a byte count like the paper's size axis (40B, 4KB,
+// 10MB).
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		if n%(1<<20) == 0 {
+			return fmt.Sprintf("%dMB", n>>20)
+		}
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		if n%(1<<10) == 0 {
+			return fmt.Sprintf("%dKB", n>>10)
+		}
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Figure is a grouped bar chart: one group per X label, one bar per
+// series (matching the stacked-stage figures 4 and 5).
+type Figure struct {
+	Title  string
+	XLabel []string
+	Series []FigureSeries
+}
+
+// FigureSeries is one series of a figure.
+type FigureSeries struct {
+	Name string
+	Y    []float64 // one value per X label, in microseconds
+}
+
+// RenderCSV writes the figure data as CSV (x, series...).
+func (f *Figure) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	for i, x := range f.XLabel {
+		b.WriteString(x)
+		for _, s := range f.Series {
+			v := 0.0
+			if i < len(s.Y) {
+				v = s.Y[i]
+			}
+			fmt.Fprintf(&b, ",%.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render writes the figure as horizontal ASCII bars, one block per X
+// label, bars scaled to the figure-wide maximum.
+func (f *Figure) Render(w io.Writer) error {
+	const barWidth = 50
+	maxV := 0.0
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	nameW := 0
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for i, x := range f.XLabel {
+		fmt.Fprintf(&b, "%s\n", x)
+		for _, s := range f.Series {
+			v := 0.0
+			if i < len(s.Y) {
+				v = s.Y[i]
+			}
+			n := int(v / maxV * barWidth)
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.2fus\n", nameW, s.Name, strings.Repeat("#", n), v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	_ = f.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("TABLE X: demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	tb.AddRow("short")
+	tb.AddNote("n = 100")
+	out := tb.String()
+	if !strings.Contains(out, "TABLE X: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a-much-longer-name") || !strings.Contains(out, "n = 100") {
+		t.Error("missing content")
+	}
+	// All data lines equally wide (aligned columns).
+	var widths []int
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(ln, "|") {
+			widths = append(widths, len(ln))
+		}
+	}
+	if len(widths) < 5 {
+		t.Fatalf("table too short: %q", out)
+	}
+	for _, w := range widths {
+		if w != widths[0] {
+			t.Errorf("ragged table:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestUs(t *testing.T) {
+	cases := map[time.Duration]string{
+		42830 * time.Nanosecond:  "42.8",
+		56 * time.Microsecond:    "56.0",
+		8285 * time.Microsecond:  "8285",
+		40 * time.Nanosecond:     "0.04",
+		1270 * time.Nanosecond:   "1.27",
+		11464 * time.Microsecond: "11464",
+	}
+	for d, want := range cases {
+		if got := Us(d); got != want {
+			t.Errorf("Us(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int]string{
+		40:        "40B",
+		400:       "400B",
+		4096:      "4KB",
+		40 << 10:  "40KB",
+		400 << 10: "400KB",
+		10 << 20:  "10MB",
+		1536:      "1.5KB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig. demo",
+		XLabel: []string{"CVE-A", "CVE-B"},
+		Series: []FigureSeries{
+			{Name: "prep", Y: []float64{100, 200}},
+			{Name: "pass", Y: []float64{10, 20}},
+		},
+	}
+	out := f.String()
+	if !strings.Contains(out, "CVE-A") || !strings.Contains(out, "prep") {
+		t.Errorf("figure missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+
+	var csv strings.Builder
+	if err := f.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "x,prep,pass" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "CVE-A,100.000,10.000") {
+		t.Errorf("csv body = %v", lines)
+	}
+}
+
+func TestFigureEmptySeries(t *testing.T) {
+	f := &Figure{XLabel: []string{"a"}, Series: []FigureSeries{{Name: "s"}}}
+	if out := f.String(); !strings.Contains(out, "0.00us") {
+		t.Errorf("missing zero bar: %q", out)
+	}
+}

@@ -1,0 +1,296 @@
+// Package sgxprep implements KShot's SGX-resident patch preparation
+// enclave (§V-B). The enclave receives the encrypted binary patch the
+// untrusted helper fetched from the remote server, decrypts and
+// verifies it inside the EPC, preprocesses it against the running
+// kernel's symbol table (mem_X placement, relocation resolution,
+// trampoline computation — the heavy lifting that would otherwise
+// extend the OS pause if done in SMM), performs its half of the
+// Diffie-Hellman exchange with the SMM handler, and returns the
+// encrypted patch package for the helper to stage into mem_W.
+//
+// Plaintext patch bytes and key material exist only inside the
+// enclave: the helper sees ciphertext in, ciphertext out.
+package sgxprep
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"kshot/internal/isa"
+	"kshot/internal/kcrypto"
+	"kshot/internal/patch"
+	"kshot/internal/sgx"
+	"kshot/internal/timing"
+)
+
+// ECALL function numbers.
+const (
+	// FnPrepare preprocesses a patch blob into an encrypted package.
+	FnPrepare = 1
+	// FnPrepareRollback builds an encrypted rollback command package.
+	FnPrepareRollback = 2
+)
+
+// EnclavePages is the number of EPC pages the preparation enclave
+// needs.
+const EnclavePages = 8
+
+// serverKeyOff is where the provisioned server channel key lives in
+// the EPC.
+const serverKeyOff = 0
+
+// PrepareArgs is the (gob-encoded) input of FnPrepare.
+type PrepareArgs struct {
+	// ServerBlob is the encrypted BinaryPatch from the remote server.
+	ServerBlob []byte
+
+	// SMMPub is the SMM handler's published DH public key, read from
+	// mem_RW by the helper.
+	SMMPub []byte
+
+	// MemXCursor/DataCursor are the SMM handler's current allocation
+	// cursors.
+	MemXCursor uint64
+	DataCursor uint64
+}
+
+// RollbackArgs is the input of FnPrepareRollback.
+type RollbackArgs struct {
+	ID     string
+	SMMPub []byte
+}
+
+// Result is the output of both ECALLs.
+type Result struct {
+	// Ciphertext is the encrypted patch package for mem_W.
+	Ciphertext []byte
+
+	// EnclavePub is the enclave's DH public key for mem_RW.
+	EnclavePub []byte
+
+	// ID echoes the patch ID; MemXUsed/DataUsed report the allocation
+	// this patch will consume (for the caller's bookkeeping).
+	ID       string
+	MemXUsed uint64
+	DataUsed uint64
+
+	// PayloadBytes is the total function payload size (the "patch
+	// size" the evaluation tables sweep).
+	PayloadBytes int
+}
+
+// Breakdown reports the virtual preprocessing time of the last ECALL
+// (the "Pre-processing" column of Table II).
+type Breakdown struct {
+	Preprocess time.Duration
+}
+
+// Config parameterizes the enclave program.
+type Config struct {
+	// ServerKey is the 32-byte channel key shared with the remote
+	// patch server (established via remote attestation of this
+	// enclave's measurement).
+	ServerKey []byte
+
+	// KernelVersion and KernelSymbols describe the running kernel
+	// (collected safely at boot, §V-B).
+	KernelVersion string
+	KernelSymbols []isa.Symbol
+
+	// Placement is the SMM handler's reserved memory layout.
+	Placement patch.Placement
+
+	// HashAlg selects the payload verification hash (SHA-256 default;
+	// SDBM for the paper's cheaper-hash ablation).
+	HashAlg kcrypto.HashAlg
+
+	// Clock/Model drive virtual-time accounting. Clock may be nil.
+	Clock *timing.Clock
+	Model timing.Model
+
+	// Rand is the entropy source (crypto/rand when nil).
+	Rand io.Reader
+}
+
+// Program is the enclave program; load it with sgx.Platform.Load.
+type Program struct {
+	cfg     Config
+	rng     io.Reader
+	symtab  *isa.SymTab
+	lastPre Breakdown
+}
+
+var _ sgx.Program = (*Program)(nil)
+
+// New validates the configuration and builds the enclave program.
+func New(cfg Config) (*Program, error) {
+	if len(cfg.ServerKey) != 32 {
+		return nil, errors.New("sgxprep: server key must be 32 bytes")
+	}
+	if cfg.HashAlg == 0 {
+		cfg.HashAlg = kcrypto.HashSHA256
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &timing.Clock{}
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	symtab, err := isa.NewSymTab(cfg.KernelSymbols)
+	if err != nil {
+		return nil, fmt.Errorf("sgxprep: %w", err)
+	}
+	return &Program{cfg: cfg, rng: rng, symtab: symtab}, nil
+}
+
+// Identity returns the measured identity string of the preparation
+// enclave for a kernel version; the remote server computes the
+// expected measurement from it without instantiating the program.
+func Identity(kernelVersion string) string {
+	return "kshot-patch-preparation-enclave v1 kernel=" + kernelVersion
+}
+
+// Identity implements sgx.Program; it is the measured enclave
+// identity the remote server attests.
+func (p *Program) Identity() string { return Identity(p.cfg.KernelVersion) }
+
+// Init stores the server channel key in the EPC.
+func (p *Program) Init(env *sgx.Env) error {
+	return env.Write(serverKeyOff, p.cfg.ServerKey)
+}
+
+// LastBreakdown returns the preprocessing time of the last ECALL.
+func (p *Program) LastBreakdown() Breakdown { return p.lastPre }
+
+// ECall implements sgx.Program.
+func (p *Program) ECall(env *sgx.Env, fn int, args []byte) ([]byte, error) {
+	switch fn {
+	case FnPrepare:
+		var in PrepareArgs
+		if err := gobDecode(args, &in); err != nil {
+			return nil, fmt.Errorf("sgxprep: args: %w", err)
+		}
+		return p.prepare(env, in)
+	case FnPrepareRollback:
+		var in RollbackArgs
+		if err := gobDecode(args, &in); err != nil {
+			return nil, fmt.Errorf("sgxprep: args: %w", err)
+		}
+		return p.prepareRollback(env, in)
+	default:
+		return nil, fmt.Errorf("sgxprep: no such ecall %d", fn)
+	}
+}
+
+func (p *Program) prepare(env *sgx.Env, in PrepareArgs) ([]byte, error) {
+	// Decrypt the server blob with the key held in the EPC.
+	serverKey := make([]byte, 32)
+	if err := env.Read(serverKeyOff, serverKey); err != nil {
+		return nil, err
+	}
+	serverSession, err := kcrypto.NewSession(serverKey, p.rng)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := serverSession.Decrypt(in.ServerBlob)
+	if err != nil {
+		return nil, fmt.Errorf("sgxprep: server blob: %w", err)
+	}
+	var bp patch.BinaryPatch
+	if err := gobDecode(plain, &bp); err != nil {
+		return nil, fmt.Errorf("sgxprep: server blob decode: %w", err)
+	}
+	if bp.KernelVersion != p.cfg.KernelVersion {
+		return nil, fmt.Errorf("sgxprep: patch for kernel %q, running %q", bp.KernelVersion, p.cfg.KernelVersion)
+	}
+
+	// Preprocess: placement, relocation, trampolines, packaging
+	// (Table II "Pre-processing", charged per payload byte).
+	start := p.cfg.Clock.Now()
+	prepared, err := patch.Prepare(&bp, p.symtab, p.cfg.Placement, in.MemXCursor, in.DataCursor)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := patch.Marshal(prepared, patch.OpPatch, p.cfg.HashAlg)
+	if err != nil {
+		return nil, err
+	}
+	p.cfg.Clock.Advance(timing.Linear(p.cfg.Model.PrepFixed, p.cfg.Model.PrepPerByte, bp.PayloadBytes()))
+	p.lastPre = Breakdown{Preprocess: p.cfg.Clock.Now() - start}
+
+	res, err := p.sealForSMM(wire, in.SMMPub)
+	if err != nil {
+		return nil, err
+	}
+	res.ID = bp.ID
+	res.MemXUsed = prepared.MemXUsed
+	res.DataUsed = prepared.DataUsed
+	res.PayloadBytes = bp.PayloadBytes()
+	return gobEncode(res)
+}
+
+func (p *Program) prepareRollback(_ *sgx.Env, in RollbackArgs) ([]byte, error) {
+	wire, err := patch.MarshalRollback(in.ID, p.cfg.KernelVersion)
+	if err != nil {
+		return nil, err
+	}
+	p.cfg.Clock.Advance(p.cfg.Model.PrepFixed)
+	res, err := p.sealForSMM(wire, in.SMMPub)
+	if err != nil {
+		return nil, err
+	}
+	res.ID = in.ID
+	return gobEncode(res)
+}
+
+// sealForSMM performs the enclave's half of the DH exchange and
+// encrypts the wire package for the mem_W channel.
+func (p *Program) sealForSMM(wire, smmPub []byte) (*Result, error) {
+	kp, err := kcrypto.GenerateKeyPair(p.rng)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := kp.SharedSecret(smmPub)
+	if err != nil {
+		return nil, fmt.Errorf("sgxprep: key agreement: %w", err)
+	}
+	session, err := kcrypto.NewSession(shared, p.rng)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := session.Encrypt(wire)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ciphertext: ct, EnclavePub: kp.PublicBytes()}, nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// EncodeArgs gob-encodes ECALL arguments (helper-side convenience).
+func EncodeArgs(v any) ([]byte, error) { return gobEncode(v) }
+
+// DecodeResult decodes an ECALL result (helper-side convenience).
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := gobDecode(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,205 @@
+// Package workload provides the Sysbench-like whole-system workload
+// of §VI-C3: threads continuously issuing CPU-bound, memory-bound and
+// checksum syscalls against the simulated kernel, with throughput
+// accounting. The overhead experiment runs the workload with and
+// without a live-patching storm and compares end-user-visible
+// throughput, reproducing the paper's "under 3% overhead over 1,000
+// live patches" measurement.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kshot/internal/kernel"
+	"kshot/internal/mem"
+)
+
+// Kind selects the workload mix.
+type Kind int
+
+// Workload kinds, mirroring Sysbench's test modes.
+const (
+	CPU Kind = iota + 1
+	Memory
+	Mixed
+)
+
+// String returns the mode name.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "memory"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Stats summarizes a workload run.
+type Stats struct {
+	Ops     uint64
+	Elapsed time.Duration
+	Errors  uint64
+}
+
+// OpsPerSec returns the measured throughput.
+func (s Stats) OpsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+// Driver drives workload threads, one per vCPU.
+type Driver struct {
+	k    *kernel.Kernel
+	kind Kind
+
+	ops    atomic.Uint64
+	errs   atomic.Uint64
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	started time.Time
+	running bool
+}
+
+// New creates a driver for the kernel using every vCPU.
+func New(k *kernel.Kernel, kind Kind) *Driver {
+	return &Driver{k: k, kind: kind}
+}
+
+// bufWords is the per-thread buffer size for memory operations.
+const bufWords = 32
+
+// Start launches the workload threads. Call Stop to end the run.
+func (d *Driver) Start() error {
+	if d.running {
+		return fmt.Errorf("workload: already running")
+	}
+	// Seed per-thread buffers in the kernel heap.
+	for v := 0; v < d.k.M.NumVCPUs(); v++ {
+		base := d.threadBuf(v)
+		for i := uint64(0); i < bufWords; i++ {
+			if err := d.k.M.Mem.WriteU64(mem.PrivKernel, base+8*i, i*7+uint64(v)); err != nil {
+				return fmt.Errorf("workload: seed: %w", err)
+			}
+		}
+	}
+	d.stopCh = make(chan struct{})
+	d.started = time.Now()
+	d.running = true
+	for v := 0; v < d.k.M.NumVCPUs(); v++ {
+		d.wg.Add(1)
+		go d.run(v)
+	}
+	return nil
+}
+
+func (d *Driver) threadBuf(vcpu int) uint64 {
+	return kernel.HeapBase + uint64(vcpu)*4096
+}
+
+func (d *Driver) run(vcpu int) {
+	defer d.wg.Done()
+	src := d.threadBuf(vcpu)
+	dst := src + bufWords*8
+	for i := uint64(0); ; i++ {
+		select {
+		case <-d.stopCh:
+			return
+		default:
+		}
+		var err error
+		switch d.op(i) {
+		case CPU:
+			_, err = d.k.Call(vcpu, "sys_compute", i%1000, 3)
+		case Memory:
+			_, err = d.k.Call(vcpu, "sys_memmove", dst, src, bufWords)
+		default:
+			_, err = d.k.Call(vcpu, "sys_checksum", src, bufWords)
+		}
+		if err != nil {
+			d.errs.Add(1)
+			continue
+		}
+		d.ops.Add(1)
+	}
+}
+
+// op picks the i-th operation kind for the mix.
+func (d *Driver) op(i uint64) Kind {
+	switch d.kind {
+	case CPU:
+		return CPU
+	case Memory:
+		return Memory
+	default:
+		switch i % 3 {
+		case 0:
+			return CPU
+		case 1:
+			return Memory
+		default:
+			return Mixed
+		}
+	}
+}
+
+// Stop ends the run and returns its stats.
+func (d *Driver) Stop() Stats {
+	if !d.running {
+		return Stats{}
+	}
+	close(d.stopCh)
+	d.wg.Wait()
+	d.running = false
+	s := Stats{
+		Ops:     d.ops.Swap(0),
+		Elapsed: time.Since(d.started),
+		Errors:  d.errs.Swap(0),
+	}
+	return s
+}
+
+// RunFor runs the workload for the given wall-clock duration.
+func (d *Driver) RunFor(dur time.Duration) (Stats, error) {
+	if err := d.Start(); err != nil {
+		return Stats{}, err
+	}
+	time.Sleep(dur)
+	return d.Stop(), nil
+}
+
+// Overhead compares a baseline run against a run during which
+// `disturb` executes (e.g. a 1,000-patch storm), returning the
+// fractional throughput loss (0.03 = 3%).
+func Overhead(d *Driver, dur time.Duration, disturb func() error) (baseline, disturbed Stats, overhead float64, err error) {
+	baseline, err = d.RunFor(dur)
+	if err != nil {
+		return Stats{}, Stats{}, 0, err
+	}
+	if err = d.Start(); err != nil {
+		return Stats{}, Stats{}, 0, err
+	}
+	start := time.Now()
+	derr := disturb()
+	if rem := dur - time.Since(start); rem > 0 {
+		time.Sleep(rem)
+	}
+	disturbed = d.Stop()
+	if derr != nil {
+		return Stats{}, Stats{}, 0, derr
+	}
+	b, w := baseline.OpsPerSec(), disturbed.OpsPerSec()
+	if b <= 0 {
+		return Stats{}, Stats{}, 0, fmt.Errorf("workload: zero baseline throughput")
+	}
+	return baseline, disturbed, (b - w) / b, nil
+}

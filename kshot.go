@@ -1,0 +1,178 @@
+// Package kshot is a simulation-grade reproduction of "KShot: Live
+// Kernel Patching with SMM and SGX" (DSN 2020): trustworthy live
+// kernel patching whose preparation runs in an SGX enclave and whose
+// deployment runs in an SMM handler, so that neither step depends on
+// the correctness — or honesty — of the kernel being patched.
+//
+// Because SMM handlers and SGX enclaves are not reachable from a Go
+// process, the system runs on a fully simulated x86-class target
+// machine: access-controlled physical memory, an x86-like ISA with
+// 5-byte jmp/call rel32 encodings, a multi-vCPU interpreter, SMRAM/SMI
+// semantics, and an EPC with enclave-only pages. Every mechanism of
+// the paper — binary diffing, inlining analysis, trampoline patching,
+// ftrace-aware redirection, DH-keyed SGX→SMM transport, rollback, and
+// introspection — executes as real code against that machine.
+//
+// The typical flow mirrors the paper's Figure 2:
+//
+//	srv, _ := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+//	srv.RegisterPatch(entry.SourcePatch())
+//	sys, _ := kshot.NewSystem(kshot.Options{
+//		Version:    "4.4",
+//		ExtraFiles: map[string]string{entry.File: entry.Vuln},
+//		ServerAddr: srv.Addr(),
+//	})
+//	report, _ := sys.Apply(entry.CVE) // fetch → enclave prep → SMI → patched
+//
+// See the examples directory for runnable end-to-end scenarios and
+// bench_test.go for the harness regenerating every table and figure of
+// the paper's evaluation.
+package kshot
+
+import (
+	"fmt"
+
+	"kshot/internal/core"
+	"kshot/internal/cvebench"
+	"kshot/internal/kernel"
+	"kshot/internal/mem"
+	"kshot/internal/patchserver"
+	"kshot/internal/workload"
+)
+
+// System is a provisioned KShot deployment on one simulated target
+// machine.
+type System = core.System
+
+// Options configures NewSystem.
+type Options = core.Options
+
+// Report is the outcome of one Apply or Rollback, with per-stage
+// times.
+type Report = core.Report
+
+// StageTimes breaks a patch down into the paper's pipeline stages.
+type StageTimes = core.StageTimes
+
+// NewSystem boots a simulated target machine, locks down SMM, attests
+// and loads the preparation enclave, and registers with the patch
+// server.
+func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
+
+// PatchServer is the remote, trusted patch build server.
+type PatchServer = patchserver.Server
+
+// PatchClient is a target's connection to the patch server.
+type PatchClient = patchserver.Client
+
+// OSInfo is the target build description uploaded to the server.
+type OSInfo = patchserver.OSInfo
+
+// TreeProvider supplies full kernel source trees per version.
+type TreeProvider = patchserver.TreeProvider
+
+// NewPatchServer starts a patch server on addr ("host:0" picks an
+// ephemeral port).
+func NewPatchServer(addr string, trees TreeProvider) (*PatchServer, error) {
+	return patchserver.NewServer(addr, trees)
+}
+
+// DialPatchServer connects a client to a patch server.
+func DialPatchServer(addr string) (*PatchClient, error) { return patchserver.Dial(addr) }
+
+// CVE is one benchmark vulnerability: vulnerable subsystem source, its
+// fix, and an exploit probe.
+type CVE = cvebench.Entry
+
+// ExploitResult reports one exploit probe.
+type ExploitResult = cvebench.ExploitResult
+
+// CVEList returns the paper's 30-entry Table I benchmark suite.
+func CVEList() []*CVE { return cvebench.All() }
+
+// FigureCVEs returns the six CVEs of the paper's Figures 4 and 5.
+func FigureCVEs() []*CVE { return cvebench.FigureSix() }
+
+// LookupCVE returns a benchmark entry by identifier.
+func LookupCVE(id string) (*CVE, bool) { return cvebench.Get(id) }
+
+// TreeProviderFor builds a TreeProvider whose kernels include the
+// given entries' vulnerable subsystems (the distro vendor's full
+// source view).
+func TreeProviderFor(entries ...*CVE) TreeProvider {
+	return cvebench.TreeProviderFor(entries...)
+}
+
+// SourceTree is a kernel source tree.
+type SourceTree = kernel.SourceTree
+
+// SourcePatch is a source-level kernel patch.
+type SourcePatch = kernel.SourcePatch
+
+// BaseKernelTree returns the base kernel source for a supported
+// version ("3.14" or "4.4").
+func BaseKernelTree(version string) (*SourceTree, error) { return kernel.BaseTree(version) }
+
+// Workload is the Sysbench-like whole-system workload driver.
+type Workload = workload.Driver
+
+// WorkloadKind selects the workload mix.
+type WorkloadKind = workload.Kind
+
+// Workload kinds.
+const (
+	WorkloadCPU    = workload.CPU
+	WorkloadMemory = workload.Memory
+	WorkloadMixed  = workload.Mixed
+)
+
+// NewWorkload creates a workload driver on a system's kernel.
+func NewWorkload(sys *System, kind WorkloadKind) *Workload {
+	return workload.New(sys.Kernel, kind)
+}
+
+// Rootkit simulates a kernel-resident attacker on a System: it
+// snapshots the entry bytes of chosen kernel functions and can later
+// restore them at kernel privilege — the malicious patch reversion of
+// the paper's §V-D. It exists so examples and experiments can
+// demonstrate that SMM introspection (System.Protect) detects and
+// repairs the reversion, where kernel-trusted patching systems are
+// silently defeated.
+type Rootkit struct {
+	sys   *System
+	saved map[string][]byte
+}
+
+// InstallRootkit plants the attacker before patching: it snapshots the
+// (still vulnerable) entry bytes of the named kernel functions.
+func InstallRootkit(sys *System, functions ...string) (*Rootkit, error) {
+	rk := &Rootkit{sys: sys, saved: make(map[string][]byte, len(functions))}
+	for _, fn := range functions {
+		buf, err := sys.Kernel.FuncBytes(fn)
+		if err != nil {
+			return nil, fmt.Errorf("rootkit: %w", err)
+		}
+		n := 10
+		if len(buf) < n {
+			n = len(buf)
+		}
+		rk.saved[fn] = buf[:n]
+	}
+	return rk, nil
+}
+
+// RevertPatches writes the snapshotted vulnerable bytes back over the
+// function entries, undoing any trampolines — a kernel-privilege
+// write, exactly what a rootkit can do.
+func (rk *Rootkit) RevertPatches() error {
+	for fn, orig := range rk.saved {
+		addr, err := rk.sys.Kernel.FuncAddr(fn)
+		if err != nil {
+			return fmt.Errorf("rootkit: %w", err)
+		}
+		if err := rk.sys.Machine.Mem.Write(mem.PrivKernel, addr, orig); err != nil {
+			return fmt.Errorf("rootkit: %w", err)
+		}
+	}
+	return nil
+}
