@@ -1,0 +1,28 @@
+# KShot simulation build targets. `make check` is the tier-1 gate;
+# `make race` adds the data-race detector over the full suite.
+
+GO ?= go
+
+.PHONY: all build vet test race short bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet test

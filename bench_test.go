@@ -214,3 +214,57 @@ func sizeName(n int) string {
 		return fmt.Sprintf("%dB", n)
 	}
 }
+
+// BenchmarkPipelinedApplyAll reproduces the batched-SMI experiment:
+// the full Table I suite applied serially (one SMI per patch) versus
+// through the concurrent ApplyAll pipeline (batched SMIs), on
+// identically provisioned deployments per conflict-free wave.
+func BenchmarkPipelinedApplyAll(b *testing.B) {
+	var p *evalharness.PipelinedComparison
+	for i := 0; i < b.N; i++ {
+		r, err := evalharness.RunPipelinedComparison("4.4", 8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = r
+	}
+	b.ReportMetric(float64(p.Patches), "patches")
+	b.ReportMetric(float64(p.SerialSMIs), "serial_smis")
+	b.ReportMetric(float64(p.BatchSMIs), "batch_smis")
+	b.ReportMetric(vus(p.SerialPause), "serial_pause_vus")
+	b.ReportMetric(vus(p.BatchPause), "batch_pause_vus")
+	b.ReportMetric(100*p.PauseReduction(), "pause_reduction_pct")
+}
+
+// TestPipelinedBeatsSerial is the acceptance gate for the batched
+// pipeline: applying all 30 Table I CVEs through ApplyAll must take
+// strictly fewer than 30 SMM world switches and strictly less total
+// virtual OS pause than the serial per-patch path, while every patch
+// still lands.
+func TestPipelinedBeatsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipelined sweep skipped in -short mode")
+	}
+	p, err := evalharness.RunPipelinedComparison("4.4", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Patches != 30 {
+		t.Fatalf("pipeline applied %d patches, want 30", p.Patches)
+	}
+	if p.SerialSMIs != 30 {
+		t.Errorf("serial mode took %d SMIs, want exactly 30", p.SerialSMIs)
+	}
+	if p.BatchSMIs >= 30 {
+		t.Errorf("batched mode took %d SMIs, want strictly fewer than 30", p.BatchSMIs)
+	}
+	if p.BatchPause >= p.SerialPause {
+		t.Errorf("batched pause %v not below serial pause %v", p.BatchPause, p.SerialPause)
+	}
+	if p.Degraded != 0 || p.Retries != 0 {
+		t.Errorf("unexpected degradations (%d) or retries (%d) on an idle machine", p.Degraded, p.Retries)
+	}
+	t.Logf("serial: %d SMIs, %v pause; batched: %d SMIs (%d batches + %d singles), %v pause (-%.1f%%)",
+		p.SerialSMIs, p.SerialPause, p.BatchSMIs, p.Batches, p.Singles,
+		p.BatchPause, 100*p.PauseReduction())
+}

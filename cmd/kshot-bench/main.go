@@ -44,10 +44,13 @@ func run(args []string, stdout io.Writer) error {
 		table4   = fs.Bool("table4", false, "Table IV: general comparison")
 		table5   = fs.Bool("table5", false, "Table V: kernel patching comparison")
 		rq1      = fs.Bool("rq1", false, "RQ1: patch all 30 CVEs")
+		pipeline = fs.Bool("pipeline", false, "pipelined ApplyAll vs serial Apply")
 		overhead = fs.Bool("overhead", false, "whole-system overhead")
 		iters    = fs.Int("iters", 3, "repetitions per measurement")
 		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
-		version  = fs.String("version", "4.4", "kernel version for -rq1")
+		batch    = fs.Int("batch", 8, "batch size for -pipeline")
+		workers  = fs.Int("workers", 4, "fetch workers for -pipeline")
+		version  = fs.String("version", "4.4", "kernel version for -rq1/-pipeline")
 		outFile  = fs.String("o", "", "also write output to this file")
 		csv      = fs.Bool("csv", false, "emit figures as CSV instead of ASCII bars")
 	)
@@ -65,10 +68,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *overhead
+	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead
 	if *all || !any {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *overhead =
-			true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead =
+			true, true, true, true, true, true, true, true, true, true
 	}
 
 	if *table1 {
@@ -156,6 +159,18 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := evalharness.RQ1Table(rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *pipeline {
+		fmt.Fprintf(out, "running pipelined ApplyAll vs serial (batch %d, %d workers)...\n", *batch, *workers)
+		p, err := evalharness.RunPipelinedComparison(*version, *batch, *workers)
+		if err != nil {
+			return err
+		}
+		if err := evalharness.PipelinedTable(p, *batch, *workers).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -92,7 +93,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("  exploit before patch: vulnerable=%v (%s)\n", res.Vulnerable, res.Detail)
 
-		rep, err := sys.Apply(e.CVE)
+		rep, err := sys.Apply(context.Background(), e.CVE)
 		if err != nil {
 			return fmt.Errorf("apply %s: %w", e.CVE, err)
 		}
@@ -116,7 +117,7 @@ func run(args []string) error {
 		fmt.Printf("  introspection: tampering=%v\n", tampered)
 
 		if *rollback {
-			if _, err := sys.Rollback(e.CVE); err != nil {
+			if _, err := sys.Rollback(context.Background(), e.CVE); err != nil {
 				return fmt.Errorf("rollback %s: %w", e.CVE, err)
 			}
 			res, err = e.Exploit(sys.Kernel, 0)

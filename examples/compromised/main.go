@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	}
 	fmt.Println("rootkit installed: snapshot of vulnerable entry bytes taken")
 
-	if _, err := sys.Apply(entry.CVE); err != nil {
+	if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
 		log.Fatal(err)
 	}
 	res, _ := entry.Exploit(sys.Kernel, 0)

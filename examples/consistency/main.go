@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -75,11 +76,11 @@ func main() {
 	// of the time).
 	refused := 0
 	for i := 0; i < 50; i++ {
-		_, err := sys.Apply(entry.CVE)
+		_, err := sys.Apply(context.Background(), entry.CVE)
 		if err == nil {
 			// Landed in a gap between calls — roll back and retry to
 			// demonstrate the refusal path.
-			if _, err := sys.Rollback(entry.CVE); err != nil {
+			if _, err := sys.Rollback(context.Background(), entry.CVE); err != nil {
 				log.Fatal(err)
 			}
 			continue
@@ -99,7 +100,7 @@ func main() {
 	close(stop)
 	wg.Wait()
 	start := time.Now()
-	rep, err := sys.Apply(entry.CVE)
+	rep, err := sys.Apply(context.Background(), entry.CVE)
 	if err != nil {
 		log.Fatalf("quiescent apply: %v", err)
 	}

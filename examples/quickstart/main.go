@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("before: vulnerable=%v — %s\n", res.Vulnerable, res.Detail)
 
 	// Live patch. The OS pauses only for the SMM stage.
-	rep, err := sys.Apply(entry.CVE)
+	rep, err := sys.Apply(context.Background(), entry.CVE)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	probe("fresh kernel")
-	if _, err := sys.Apply(entry.CVE); err != nil {
+	if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
 		log.Fatal(err)
 	}
 	probe("after live patch")
@@ -58,14 +59,14 @@ func main() {
 	// Suppose post-deployment monitoring blames the new code: the
 	// operator sends the rollback command. The SMM handler restores
 	// the journaled entry bytes and rewinds its mem_X allocation.
-	if _, err := sys.Rollback(entry.CVE); err != nil {
+	if _, err := sys.Rollback(context.Background(), entry.CVE); err != nil {
 		log.Fatal(err)
 	}
 	probe("after rollback")
 	fmt.Println("applied set:", sys.Applied())
 
 	// A corrected patch can go right back in.
-	if _, err := sys.Apply(entry.CVE); err != nil {
+	if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
 		log.Fatal(err)
 	}
 	probe("after re-apply")

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -58,12 +59,12 @@ func main() {
 	const storms = 25
 	var pause time.Duration
 	for i := 0; i < storms; i++ {
-		rep, err := sys.Apply(entry.CVE)
+		rep, err := sys.Apply(context.Background(), entry.CVE)
 		if err != nil {
 			log.Fatalf("apply %d: %v", i, err)
 		}
 		pause += rep.Stages.SMMTotal()
-		if _, err := sys.Rollback(entry.CVE); err != nil {
+		if _, err := sys.Rollback(context.Background(), entry.CVE); err != nil {
 			log.Fatalf("rollback %d: %v", i, err)
 		}
 	}

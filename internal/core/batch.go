@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"kshot/internal/patchserver"
+	"kshot/internal/pipeline"
+	"kshot/internal/sgxprep"
+	"kshot/internal/smmpatch"
+	"kshot/internal/timing"
+)
+
+// ApplyOption tunes an ApplyAll run.
+type ApplyOption func(*applyConfig)
+
+type applyConfig struct {
+	batchSize    int
+	fetchWorkers int
+	maxRetries   int
+	backoff      time.Duration
+}
+
+// WithBatchSize caps how many patches are delivered under one SMI
+// (default pipeline.DefaultBatchSize, max smmpatch.MaxBatchMembers).
+func WithBatchSize(n int) ApplyOption { return func(c *applyConfig) { c.batchSize = n } }
+
+// WithFetchWorkers sets the number of concurrent Stage-1 fetch
+// connections (default pipeline.DefaultWorkers).
+func WithFetchWorkers(n int) ApplyOption { return func(c *applyConfig) { c.fetchWorkers = n } }
+
+// WithMaxRetries bounds per-patch redeliveries after an activeness
+// refusal; negative disables retries (default pipeline.DefaultMaxRetries).
+func WithMaxRetries(n int) ApplyOption { return func(c *applyConfig) { c.maxRetries = n } }
+
+// WithRetryBackoff sets the base real-time delay before the first
+// retry; it doubles per attempt (default pipeline.DefaultBackoff).
+func WithRetryBackoff(d time.Duration) ApplyOption { return func(c *applyConfig) { c.backoff = d } }
+
+// BatchReport is the outcome of one ApplyAll run.
+type BatchReport struct {
+	// Reports holds the successfully applied patches in request order.
+	Reports []*Report
+
+	// Failed maps each CVE that did not land to its final error.
+	Failed map[string]error
+
+	// Requested is the number of CVEs asked for.
+	Requested int
+
+	// SMIs is the number of SMM world switches this run raised;
+	// SMMPause is the total virtual time the OS spent paused for them.
+	// Batched delivery makes SMIs < Requested.
+	SMIs     uint64
+	SMMPause time.Duration
+
+	// Pipeline traffic counters (see pipeline.Result).
+	Batches  int
+	Singles  int
+	Retries  int
+	Degraded int
+}
+
+// ApplyAll live-patches many CVEs through the concurrent batch
+// pipeline: fetches fan out over a pool of attested server
+// connections, the enclave prepares each batch in one ECALL, and each
+// batch applies under a single SMI. Per-patch failures land in
+// BatchReport.Failed without sinking the rest; the error return is
+// reserved for cancellation.
+func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOption) (*BatchReport, error) {
+	var cfg applyConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	batchSize := cfg.batchSize
+	if batchSize <= 0 {
+		batchSize = pipeline.DefaultBatchSize
+	}
+	if batchSize > smmpatch.MaxBatchMembers {
+		batchSize = smmpatch.MaxBatchMembers
+	}
+	workers := cfg.fetchWorkers
+	if workers <= 0 {
+		workers = pipeline.DefaultWorkers
+	}
+
+	// Stage-1 connection pool: each worker gets its own attested
+	// connection so server-side patch builds genuinely overlap (the
+	// server's channel-key cache hands every connection the key this
+	// system's enclave holds). A failed dial falls back to sharing the
+	// boot-time connection, which is mutex-guarded.
+	nbatches := (len(cves) + batchSize - 1) / batchSize
+	poolSize := workers
+	if poolSize > nbatches {
+		poolSize = nbatches
+	}
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	fetchers := make(chan *patchserver.Client, poolSize)
+	var dialed []*patchserver.Client
+	for i := 0; i < poolSize; i++ {
+		if c, err := patchserver.Dial(s.serverAddr); err == nil {
+			if _, err := c.HelloWithAttestation(s.info, s.meas, s.attKey); err == nil {
+				dialed = append(dialed, c)
+				fetchers <- c
+				continue
+			}
+			_ = c.Close()
+		}
+		fetchers <- s.client
+	}
+	defer func() {
+		for _, c := range dialed {
+			_ = c.Close()
+		}
+	}()
+
+	entries0 := s.SMM.Entries()
+	pause0 := s.SMM.TotalPause()
+
+	res, runErr := pipeline.Run(ctx, &batchBackend{s: s, fetchers: fetchers}, cves, pipeline.Config{
+		BatchSize:  batchSize,
+		Workers:    workers,
+		MaxRetries: cfg.maxRetries,
+		Backoff:    cfg.backoff,
+		Retryable:  func(err error) bool { return errors.Is(err, smmpatch.ErrTargetActive) },
+	})
+
+	rep := &BatchReport{
+		Requested: len(cves),
+		Failed:    make(map[string]error),
+		SMIs:      s.SMM.Entries() - entries0,
+		SMMPause:  s.SMM.TotalPause() - pause0,
+		Batches:   res.Batches,
+		Singles:   res.Singles,
+		Retries:   res.Retries,
+		Degraded:  res.Degraded,
+	}
+	for _, m := range res.Members {
+		if m.Err != nil {
+			rep.Failed[m.CVE] = m.Err
+			continue
+		}
+		rep.Reports = append(rep.Reports, &Report{ID: m.CVE, Stages: m.Stages})
+	}
+	return rep, runErr
+}
+
+// batchBackend adapts the System to the pipeline's Backend interface.
+type batchBackend struct {
+	s        *System
+	fetchers chan *patchserver.Client
+}
+
+func (b *batchBackend) FetchMany(ctx context.Context, cves []string) ([]pipeline.Fetched, error) {
+	var c *patchserver.Client
+	select {
+	case c = <-b.fetchers:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { b.fetchers <- c }()
+	rs, err := c.FetchPatches(ctx, cves)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrFetch, err)
+	}
+	out := make([]pipeline.Fetched, len(rs))
+	for i, r := range rs {
+		f := pipeline.Fetched{CVE: r.CVE, Blob: r.Blob}
+		if r.Err != nil {
+			f.Blob = nil
+			f.Err = fmt.Errorf("%w: %s: %w", ErrFetch, r.CVE, r.Err)
+		} else {
+			f.Time = timing.Linear(b.s.Model.FetchFixed, b.s.Model.FetchPerByte, len(r.Blob))
+			b.s.Clock.Advance(f.Time)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// DeliverOne applies one already-fetched member through the
+// single-package path (its own SMI) — used for single-member batches,
+// retries after activeness refusals, and degraded batch members.
+func (b *batchBackend) DeliverOne(ctx context.Context, m *pipeline.Member) error {
+	st := StageTimes{Fetch: m.Stages.Fetch}
+	rep, err := b.s.applyPrepared(ctx, m.CVE, m.Blob, &st)
+	if err != nil {
+		m.Stages = st
+		return err
+	}
+	m.Stages = rep.Stages
+	return nil
+}
+
+// DeliverBatch runs Stages 2–4 for a whole batch: one prepare-many
+// ECALL, one staging directory, one SMI. Per-member outcomes land on
+// the members; a non-nil return means the SMI itself failed and the
+// pipeline should degrade to per-patch delivery.
+func (b *batchBackend) DeliverBatch(ctx context.Context, members []*pipeline.Member) error {
+	s := b.s
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Stage 2: prepare every member in one ECALL at running cursors.
+	smmPub, err := smmpatch.ReadSMMPub(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return fmt.Errorf("core: read SMM key: %w", err)
+	}
+	memX, data := s.Handler.Cursors()
+	blobs := make([][]byte, len(members))
+	for i, m := range members {
+		blobs[i] = m.Blob
+	}
+	args, err := sgxprep.EncodeArgs(sgxprep.BatchPrepareArgs{
+		ServerBlobs: blobs,
+		SMMPub:      smmPub,
+		MemXCursor:  memX,
+		DataCursor:  data,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := s.enclave.ECall(sgxprep.FnPrepareBatch, args)
+	if err != nil {
+		return fmt.Errorf("%w: batch: %w", ErrEnclavePrepare, err)
+	}
+	br, err := sgxprep.DecodeBatchResult(out)
+	if err != nil {
+		return err
+	}
+	if len(br.Members) != len(members) {
+		return fmt.Errorf("core: batch prepare returned %d members, want %d", len(br.Members), len(members))
+	}
+
+	// Stage 3: stage the successfully prepared members as one mem_W
+	// directory; preparation failures get per-member errors and drop
+	// out here (the pipeline gives them a per-patch attempt).
+	var staged []smmpatch.BatchMember
+	var stagedIdx []int
+	for i, mr := range br.Members {
+		m := members[i]
+		if mr.Err != "" {
+			m.Err = fmt.Errorf("%w: %s: %s", ErrEnclavePrepare, m.CVE, mr.Err)
+			continue
+		}
+		m.Stages.Preprocess = mr.Prep
+		m.Stages.PayloadBytes = mr.PayloadBytes
+		m.Stages.Pass = timing.Linear(s.Model.PassFixed, s.Model.PassPerByte, len(mr.Ciphertext))
+		s.Clock.Advance(m.Stages.Pass)
+		staged = append(staged, smmpatch.BatchMember{EnclavePub: mr.EnclavePub, Ciphertext: mr.Ciphertext})
+		stagedIdx = append(stagedIdx, i)
+	}
+	if len(staged) == 0 {
+		return nil
+	}
+	if err := smmpatch.StageBatch(s.Machine.Mem, s.helperPriv, s.Kernel.Res, staged); err != nil {
+		return fmt.Errorf("core: stage batch: %w", err)
+	}
+
+	// Stage 4: one SMI for the whole batch.
+	if err := s.SMM.Trigger(smmpatch.CmdProcessBatch, 0); err != nil {
+		return fmt.Errorf("core: SMM batch processing: %w", err)
+	}
+	codes, err := smmpatch.ReadBatchResults(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return err
+	}
+	if len(codes) != len(staged) {
+		return fmt.Errorf("core: batch results: %d codes for %d members", len(codes), len(staged))
+	}
+	bds := s.Handler.BatchBreakdowns()
+	switchShare := timing.AmortizeFixed(s.Model.SMMEntry+s.Model.SMMExit, len(staged))
+	for j, idx := range stagedIdx {
+		m := members[idx]
+		if j < len(bds) {
+			m.Stages.KeyGen = bds[j].KeyGen
+			m.Stages.Decrypt = bds[j].Decrypt
+			m.Stages.Verify = bds[j].Verify
+			m.Stages.Apply = bds[j].Apply
+		}
+		m.Stages.Switch = switchShare
+		switch codes[j] {
+		case smmpatch.StatusPatched:
+			m.Err = nil
+		case smmpatch.StatusTargetActive:
+			m.Err = fmt.Errorf("core: %s: %w", m.CVE, smmpatch.ErrTargetActive)
+		default:
+			m.Err = fmt.Errorf("core: %s: batch member status %d", m.CVE, codes[j])
+		}
+	}
+
+	// Confirm the batch SMI through the status mailbox and report to
+	// the server with its MAC, same as single deliveries.
+	status, err := smmpatch.ReadStatusRecord(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
+	if err != nil {
+		return err
+	}
+	if status.Code != smmpatch.StatusBatchDone {
+		return &StatusError{ID: "batch", Got: status.Code, Want: smmpatch.StatusBatchDone}
+	}
+	return s.client.ReportStatusMAC(status.Code, status.Seq, status.Digest, status.MAC[:])
+}

@@ -20,12 +20,12 @@
 package core
 
 import (
+	"context"
 	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
@@ -70,31 +70,9 @@ type Options struct {
 
 // StageTimes reports the virtual time each pipeline stage consumed for
 // one patch — the measurements behind Tables II/III and Figures 4/5.
-type StageTimes struct {
-	// SGX-side stages (Table II).
-	Fetch      time.Duration
-	Preprocess time.Duration
-	Pass       time.Duration
-
-	// SMM-side stages (Table III).
-	KeyGen  time.Duration
-	Decrypt time.Duration
-	Verify  time.Duration
-	Apply   time.Duration
-	Switch  time.Duration // SMM entry + exit
-
-	// PayloadBytes is the function payload total for this patch.
-	PayloadBytes int
-}
-
-// SGXTotal is the non-blocking preparation total (Table II "Total").
-func (st StageTimes) SGXTotal() time.Duration { return st.Fetch + st.Preprocess + st.Pass }
-
-// SMMTotal is the blocking OS-pause total (Table III "Total",
-// including key generation and SMM switching).
-func (st StageTimes) SMMTotal() time.Duration {
-	return st.KeyGen + st.Decrypt + st.Verify + st.Apply + st.Switch
-}
+// It is an alias of timing.Stages so the batch pipeline and the
+// orchestrator share one stage vocabulary.
+type StageTimes = timing.Stages
 
 // Report is the outcome of one Apply or Rollback.
 type Report struct {
@@ -116,6 +94,11 @@ type System struct {
 	prog     *sgxprep.Program
 	client   *patchserver.Client
 	info     patchserver.OSInfo
+
+	// Retained so ApplyAll can dial extra attested fetch connections.
+	serverAddr string
+	meas       sgx.Measurement
+	attKey     []byte
 
 	helperPriv mem.Priv
 }
@@ -269,6 +252,9 @@ func NewSystem(opts Options) (*System, error) {
 		prog:       prog,
 		client:     client,
 		info:       info,
+		serverAddr: opts.ServerAddr,
+		meas:       meas,
+		attKey:     attKey,
 		helperPriv: mem.PrivUser,
 	}
 	// Bootstrap the SMM channel key.
@@ -291,23 +277,36 @@ func (s *System) Close() {
 }
 
 // Apply live-patches the named CVE end to end and reports per-stage
-// times. The OS pauses only for the SMM portion.
-func (s *System) Apply(cve string) (*Report, error) {
+// times. The OS pauses only for the SMM portion. ctx bounds the fetch
+// and is checked between stages; cancellation never interrupts an SMI
+// already raised, so the system stays consistent.
+func (s *System) Apply(ctx context.Context, cve string) (*Report, error) {
 	st := StageTimes{}
-
 	// Stage 1: fetch the encrypted patch (untrusted helper, network).
-	var blob []byte
-	st.Fetch = s.Clock.Span(func() {
-		var err error
-		blob, err = s.client.FetchPatch(cve)
-		if err == nil {
-			s.Clock.Advance(timing.Linear(s.Model.FetchFixed, s.Model.FetchPerByte, len(blob)))
-		} else {
-			blob = nil
-		}
-	})
-	if blob == nil {
-		return nil, fmt.Errorf("core: fetch %s failed", cve)
+	blob, err := s.fetchBlob(ctx, s.client, cve, &st)
+	if err != nil {
+		return nil, err
+	}
+	return s.applyPrepared(ctx, cve, blob, &st)
+}
+
+// fetchBlob runs Stage 1 over the given server connection, recording
+// the virtual fetch time in st.
+func (s *System) fetchBlob(ctx context.Context, c *patchserver.Client, cve string, st *StageTimes) ([]byte, error) {
+	blob, err := c.FetchPatch(ctx, cve)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrFetch, cve, err)
+	}
+	st.Fetch = timing.Linear(s.Model.FetchFixed, s.Model.FetchPerByte, len(blob))
+	s.Clock.Advance(st.Fetch)
+	return blob, nil
+}
+
+// applyPrepared runs Stages 2–4 for an already fetched blob: enclave
+// preprocessing, staging, and the SMI.
+func (s *System) applyPrepared(ctx context.Context, cve string, blob []byte, st *StageTimes) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Stage 2: enclave preprocessing.
@@ -327,7 +326,7 @@ func (s *System) Apply(cve string) (*Report, error) {
 	}
 	out, err := s.enclave.ECall(sgxprep.FnPrepare, args)
 	if err != nil {
-		return nil, fmt.Errorf("core: enclave prepare: %w", err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrEnclavePrepare, cve, err)
 	}
 	res, err := sgxprep.DecodeResult(out)
 	if err != nil {
@@ -336,15 +335,17 @@ func (s *System) Apply(cve string) (*Report, error) {
 	st.Preprocess = s.prog.LastBreakdown().Preprocess
 	st.PayloadBytes = res.PayloadBytes
 
-	report, err := s.deliver(cve, res, &st, smmpatch.StatusPatched)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return report, nil
+	return s.deliver(cve, res, st, smmpatch.StatusPatched)
 }
 
 // Rollback undoes the most recently applied patch (§V-C).
-func (s *System) Rollback(cve string) (*Report, error) {
+func (s *System) Rollback(ctx context.Context, cve string) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	smmPub, err := smmpatch.ReadSMMPub(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
 	if err != nil {
 		return nil, err
@@ -355,7 +356,7 @@ func (s *System) Rollback(cve string) (*Report, error) {
 	}
 	out, err := s.enclave.ECall(sgxprep.FnPrepareRollback, args)
 	if err != nil {
-		return nil, fmt.Errorf("core: enclave rollback: %w", err)
+		return nil, fmt.Errorf("%w: rollback %s: %w", ErrEnclavePrepare, cve, err)
 	}
 	res, err := sgxprep.DecodeResult(out)
 	if err != nil {
@@ -397,7 +398,7 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 		return nil, err
 	}
 	if status.Code != wantStatus {
-		return nil, fmt.Errorf("core: %s: SMM status %d, want %d", cve, status.Code, wantStatus)
+		return nil, &StatusError{ID: cve, Got: status.Code, Want: wantStatus}
 	}
 	if err := s.client.ReportStatusMAC(status.Code, status.Seq, status.Digest, status.MAC[:]); err != nil {
 		return nil, err

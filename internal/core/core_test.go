@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"sync"
@@ -80,7 +81,7 @@ func TestApplyEndToEnd(t *testing.T) {
 		t.Fatal("kernel not vulnerable before patch")
 	}
 
-	rep, err := d.System.Apply(e.CVE)
+	rep, err := d.System.Apply(context.Background(), e.CVE)
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestApplyThenRollback(t *testing.T) {
 	d := newDeployment(t, "3.14", 0, "CVE-2015-1333")
 	e := d.Entries[0]
 
-	if _, err := d.System.Apply(e.CVE); err != nil {
+	if _, err := d.System.Apply(context.Background(), e.CVE); err != nil {
 		t.Fatal(err)
 	}
 	res, err := e.Exploit(d.System.Kernel, 0)
@@ -130,7 +131,7 @@ func TestApplyThenRollback(t *testing.T) {
 		t.Fatalf("patch ineffective: %+v, %v", res, err)
 	}
 
-	if _, err := d.System.Rollback(e.CVE); err != nil {
+	if _, err := d.System.Rollback(context.Background(), e.CVE); err != nil {
 		t.Fatalf("Rollback: %v", err)
 	}
 	res, err = e.Exploit(d.System.Kernel, 0)
@@ -144,7 +145,7 @@ func TestApplyThenRollback(t *testing.T) {
 		t.Errorf("Applied() after rollback = %v", got)
 	}
 	// Re-apply works after rollback.
-	if _, err := d.System.Apply(e.CVE); err != nil {
+	if _, err := d.System.Apply(context.Background(), e.CVE); err != nil {
 		t.Fatalf("re-apply: %v", err)
 	}
 	res, _ = e.Exploit(d.System.Kernel, 0)
@@ -155,24 +156,24 @@ func TestApplyThenRollback(t *testing.T) {
 
 func TestRollbackWithoutApply(t *testing.T) {
 	d := newDeployment(t, "4.4", 0, "CVE-2014-7842")
-	if _, err := d.System.Rollback("CVE-2014-7842"); err == nil {
+	if _, err := d.System.Rollback(context.Background(), "CVE-2014-7842"); err == nil {
 		t.Error("rollback with empty journal succeeded")
 	}
 }
 
 func TestDuplicateApplyRejected(t *testing.T) {
 	d := newDeployment(t, "4.4", 0, "CVE-2016-7916")
-	if _, err := d.System.Apply("CVE-2016-7916"); err != nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2016-7916"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.System.Apply("CVE-2016-7916"); err == nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2016-7916"); err == nil {
 		t.Error("duplicate apply succeeded")
 	}
 }
 
 func TestApplyUnknownCVE(t *testing.T) {
 	d := newDeployment(t, "4.4", 0, "CVE-2016-7916")
-	if _, err := d.System.Apply("CVE-1999-0001"); err == nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-1999-0001"); err == nil {
 		t.Error("unknown CVE applied")
 	}
 }
@@ -184,7 +185,7 @@ func TestSequentialPatches(t *testing.T) {
 		if err != nil || !res.Vulnerable {
 			t.Fatalf("%s not vulnerable pre-patch: %+v %v", e.CVE, res, err)
 		}
-		if _, err := d.System.Apply(e.CVE); err != nil {
+		if _, err := d.System.Apply(context.Background(), e.CVE); err != nil {
 			t.Fatalf("apply %s: %v", e.CVE, err)
 		}
 	}
@@ -202,10 +203,10 @@ func TestSequentialPatches(t *testing.T) {
 		t.Errorf("Applied() = %v", got)
 	}
 	// Only the most recent can be rolled back.
-	if _, err := d.System.Rollback(d.Entries[0].CVE); err == nil {
+	if _, err := d.System.Rollback(context.Background(), d.Entries[0].CVE); err == nil {
 		t.Error("out-of-order rollback succeeded")
 	}
-	if _, err := d.System.Rollback(d.Entries[2].CVE); err != nil {
+	if _, err := d.System.Rollback(context.Background(), d.Entries[2].CVE); err != nil {
 		t.Errorf("in-order rollback failed: %v", err)
 	}
 }
@@ -213,7 +214,7 @@ func TestSequentialPatches(t *testing.T) {
 func TestSDBMHashVariant(t *testing.T) {
 	d := newDeployment(t, "4.4", kcrypto.HashSDBM, "CVE-2016-2543")
 	e := d.Entries[0]
-	rep, err := d.System.Apply(e.CVE)
+	rep, err := d.System.Apply(context.Background(), e.CVE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestProtectDetectsAndRepairsReversion(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := d.System.Apply(e.CVE); err != nil {
+	if _, err := d.System.Apply(context.Background(), e.CVE); err != nil {
 		t.Fatal(err)
 	}
 	// Clean introspection pass first.
@@ -300,7 +301,7 @@ func TestApplyUnderConcurrentWorkload(t *testing.T) {
 			}
 		}(v)
 	}
-	if _, err := d.System.Apply(e.CVE); err != nil {
+	if _, err := d.System.Apply(context.Background(), e.CVE); err != nil {
 		t.Fatalf("apply under load: %v", err)
 	}
 	close(stop)
@@ -315,7 +316,7 @@ func TestHelperCannotReadPatchTraffic(t *testing.T) {
 	// The staged package in mem_W is write-only for the helper and the
 	// kernel: neither can read it back.
 	d := newDeployment(t, "4.4", 0, "CVE-2014-0196")
-	if _, err := d.System.Apply("CVE-2014-0196"); err != nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2014-0196"); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 16)
@@ -361,7 +362,7 @@ func TestNewSystemErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	if _, err := sys.Apply(e.CVE); err == nil {
+	if _, err := sys.Apply(context.Background(), e.CVE); err == nil {
 		t.Error("patch for unknown subsystem applied")
 	} else if !strings.Contains(err.Error(), "unknown file") && err == nil {
 		t.Errorf("unexpected error: %v", err)
@@ -372,7 +373,7 @@ func TestDoSDetectionViaServerHandshake(t *testing.T) {
 	d := newDeployment(t, "4.4", 0, "CVE-2014-0196")
 
 	// Healthy flow: the server sees the deployment status promptly.
-	if _, err := d.System.Apply("CVE-2014-0196"); err != nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2014-0196"); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := d.Server.AwaitStatus(0, time.Second); !ok {
@@ -404,7 +405,7 @@ func fetchOnly(d *testDeployment) ([]byte, error) {
 	if _, err := c.Hello(patchserver.OSInfo{Version: "4.4", Ftrace: true, Inline: true}, meas); err != nil {
 		return nil, err
 	}
-	return c.FetchPatch("CVE-2014-0196")
+	return c.FetchPatch(context.Background(), "CVE-2014-0196")
 }
 
 func sgxMeasurement(version string) sgx.Measurement {
@@ -443,7 +444,7 @@ func TestActivenessOptionEndToEnd(t *testing.T) {
 	}
 	t.Cleanup(sys.Close)
 	// Idle machine: the check passes and the patch lands.
-	if _, err := sys.Apply(entries[0].CVE); err != nil {
+	if _, err := sys.Apply(context.Background(), entries[0].CVE); err != nil {
 		t.Fatalf("idle apply with activeness: %v", err)
 	}
 	res, _ := entries[0].Exploit(sys.Kernel, 0)
@@ -458,7 +459,7 @@ func TestWatchKernelTextViaSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Own patch: no tampering flagged.
-	if _, err := d.System.Apply("CVE-2014-0196"); err != nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2014-0196"); err != nil {
 		t.Fatal(err)
 	}
 	tampered, err := d.System.Protect()
@@ -498,7 +499,7 @@ func TestStatusAttestationAuthenticity(t *testing.T) {
 	d := newDeployment(t, "4.4", 0, "CVE-2014-0196")
 
 	// A genuine deployment produces an authentic status at the server.
-	if _, err := d.System.Apply("CVE-2014-0196"); err != nil {
+	if _, err := d.System.Apply(context.Background(), "CVE-2014-0196"); err != nil {
 		t.Fatal(err)
 	}
 	sts := d.Server.Statuses()
@@ -593,7 +594,7 @@ func TestFleetOneServerManyTargets(t *testing.T) {
 	errs := make(chan error, len(systems))
 	for _, sys := range systems {
 		go func(sys *System) {
-			_, err := sys.Apply(e.CVE)
+			_, err := sys.Apply(context.Background(), e.CVE)
 			errs <- err
 		}(sys)
 	}

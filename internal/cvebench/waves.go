@@ -1,0 +1,56 @@
+package cvebench
+
+// ConflictFreeWaves partitions entries into ordered waves such that no
+// wave holds two entries that define the same kernel function or
+// contribute the same source file. One simulated kernel cannot host
+// two definitions of a function (the build rejects duplicates — e.g.
+// sctp_assoc_update appears in both CVE-2014-5077 and CVE-2015-1421),
+// so a multi-CVE run provisions one deployment per wave and patches
+// each wave's entries together. Greedy first-fit keeps the wave count
+// minimal in practice: the Table I suite splits 28 + 2.
+func ConflictFreeWaves(entries []*Entry) [][]*Entry {
+	var waves [][]*Entry
+	var seen []map[string]bool
+	for _, e := range entries {
+		placed := false
+		for i, keys := range seen {
+			if !conflicts(keys, e) {
+				waves[i] = append(waves[i], e)
+				addKeys(keys, e)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			keys := make(map[string]bool)
+			addKeys(keys, e)
+			seen = append(seen, keys)
+			waves = append(waves, []*Entry{e})
+		}
+	}
+	return waves
+}
+
+func entryKeys(e *Entry) []string {
+	keys := make([]string, 0, len(e.Functions)+1)
+	keys = append(keys, "file:"+e.File)
+	for _, fn := range e.Functions {
+		keys = append(keys, "fn:"+fn)
+	}
+	return keys
+}
+
+func conflicts(keys map[string]bool, e *Entry) bool {
+	for _, k := range entryKeys(e) {
+		if keys[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func addKeys(keys map[string]bool, e *Entry) {
+	for _, k := range entryKeys(e) {
+		keys[k] = true
+	}
+}

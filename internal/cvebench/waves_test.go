@@ -1,0 +1,78 @@
+package cvebench
+
+import "testing"
+
+func TestConflictFreeWavesPartitionTableI(t *testing.T) {
+	all := All()
+	waves := ConflictFreeWaves(all)
+
+	// Every entry lands in exactly one wave.
+	total := 0
+	seen := make(map[string]bool, len(all))
+	for _, w := range waves {
+		total += len(w)
+		for _, e := range w {
+			if seen[e.CVE] {
+				t.Errorf("%s appears in more than one wave", e.CVE)
+			}
+			seen[e.CVE] = true
+		}
+	}
+	if total != len(all) {
+		t.Errorf("waves hold %d entries, want %d", total, len(all))
+	}
+
+	// Within a wave no two entries share a file or define the same
+	// function — one kernel cannot host duplicate definitions.
+	for wi, w := range waves {
+		keys := make(map[string]string)
+		for _, e := range w {
+			for _, k := range entryKeys(e) {
+				if prev, dup := keys[k]; dup {
+					t.Errorf("wave %d: %s and %s both contribute %s", wi, prev, e.CVE, k)
+				}
+				keys[k] = e.CVE
+			}
+		}
+	}
+
+	// Table I needs splitting (sctp_assoc_update and init_new_context
+	// each appear under two CVEs) but only just: a big first wave plus a
+	// small remainder.
+	if len(waves) < 2 {
+		t.Errorf("waves = %d, want >= 2 (duplicate function definitions in Table I)", len(waves))
+	}
+	if len(waves[0]) < len(all)-len(waves[0]) {
+		t.Errorf("first-fit wave sizes %v: first wave should dominate", waveSizes(waves))
+	}
+}
+
+func TestConflictFreeWavesPreservesOrderWithinWave(t *testing.T) {
+	all := All()
+	waves := ConflictFreeWaves(all)
+	pos := make(map[string]int, len(all))
+	for i, e := range all {
+		pos[e.CVE] = i
+	}
+	for wi, w := range waves {
+		for i := 1; i < len(w); i++ {
+			if pos[w[i-1].CVE] > pos[w[i].CVE] {
+				t.Errorf("wave %d not in registry order: %s after %s", wi, w[i-1].CVE, w[i].CVE)
+			}
+		}
+	}
+}
+
+func TestConflictFreeWavesEmpty(t *testing.T) {
+	if waves := ConflictFreeWaves(nil); len(waves) != 0 {
+		t.Errorf("ConflictFreeWaves(nil) = %v", waves)
+	}
+}
+
+func waveSizes(waves [][]*Entry) []int {
+	sizes := make([]int, len(waves))
+	for i, w := range waves {
+		sizes[i] = len(w)
+	}
+	return sizes
+}

@@ -1,6 +1,7 @@
 package evalharness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -102,7 +103,7 @@ func RunTable5(cve string) ([]ComparisonRow, error) {
 		return nil, err
 	}
 	defer d.Close()
-	rep, err := d.System.Apply(e.CVE)
+	rep, err := d.System.Apply(context.Background(), e.CVE)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +208,7 @@ func runRQ1One(version string, e *cvebench.Entry) (RQ1Row, error) {
 	}
 	row.VulnBefore = res.Vulnerable
 
-	rep, err := d.System.Apply(e.CVE)
+	rep, err := d.System.Apply(context.Background(), e.CVE)
 	if err != nil {
 		return row, err
 	}
@@ -225,7 +226,7 @@ func runRQ1One(version string, e *cvebench.Entry) (RQ1Row, error) {
 	row.KernelHealthy = err == nil && v == (10+4)*(10-4)+10
 
 	// Rollback restores the vulnerable behaviour; then re-apply.
-	if _, err := d.System.Rollback(e.CVE); err != nil {
+	if _, err := d.System.Rollback(context.Background(), e.CVE); err != nil {
 		return row, err
 	}
 	res, err = e.Exploit(d.System.Kernel, 0)
@@ -292,12 +293,12 @@ func RunOverhead(patches int, window time.Duration) (*OverheadResult, error) {
 	var pauseAcc time.Duration
 	storm := func() error {
 		for i := 0; i < patches; i++ {
-			rep, err := d.System.Apply(e.CVE)
+			rep, err := d.System.Apply(context.Background(), e.CVE)
 			if err != nil {
 				return fmt.Errorf("storm apply %d: %w", i, err)
 			}
 			pauseAcc += rep.Stages.SMMTotal()
-			if _, err := d.System.Rollback(e.CVE); err != nil {
+			if _, err := d.System.Rollback(context.Background(), e.CVE); err != nil {
 				return fmt.Errorf("storm rollback %d: %w", i, err)
 			}
 		}

@@ -17,6 +17,7 @@
 package evalharness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -432,11 +433,11 @@ func RunFigureCVEOnce(cve string, iters int) (CVEPoint, error) {
 	var acc core.StageTimes
 	bytes := 0
 	for i := 0; i < iters; i++ {
-		rep, err := d.System.Apply(e.CVE)
+		rep, err := d.System.Apply(context.Background(), e.CVE)
 		if err != nil {
 			return CVEPoint{}, fmt.Errorf("%s apply: %w", e.CVE, err)
 		}
-		if _, err := d.System.Rollback(e.CVE); err != nil {
+		if _, err := d.System.Rollback(context.Background(), e.CVE); err != nil {
 			return CVEPoint{}, fmt.Errorf("%s rollback: %w", e.CVE, err)
 		}
 		st := rep.Stages

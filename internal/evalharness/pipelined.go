@@ -1,0 +1,122 @@
+package evalharness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kshot/internal/core"
+	"kshot/internal/cvebench"
+	"kshot/internal/kcrypto"
+	"kshot/internal/report"
+)
+
+// PipelinedComparison is the outcome of the serial-vs-pipelined
+// multi-CVE experiment: the same suite applied once through the serial
+// per-patch path and once through the batched ApplyAll pipeline, on
+// identically provisioned deployments.
+type PipelinedComparison struct {
+	Patches int // CVEs applied per mode
+	Waves   int // conflict-free deployment waves the suite needed
+
+	// Serial per-patch path: one SMI per patch.
+	SerialSMIs  uint64
+	SerialPause time.Duration // total virtual OS pause
+
+	// Batched pipeline: fewer SMIs, amortized world switches.
+	BatchSMIs  uint64
+	BatchPause time.Duration
+
+	// Pipeline traffic counters summed over the waves.
+	Batches  int
+	Singles  int
+	Retries  int
+	Degraded int
+}
+
+// PauseReduction is the fraction of serial OS-pause time the batched
+// pipeline eliminated.
+func (p PipelinedComparison) PauseReduction() float64 {
+	if p.SerialPause == 0 {
+		return 0
+	}
+	return 1 - float64(p.BatchPause)/float64(p.SerialPause)
+}
+
+// RunPipelinedComparison applies every Table I CVE twice — serially
+// and through the batched pipeline — and reports SMI counts and total
+// OS pause for both. The suite is partitioned into conflict-free waves
+// (entries defining the same kernel function cannot share a kernel);
+// each wave gets a fresh deployment per mode so the two modes patch
+// identical machines.
+func RunPipelinedComparison(version string, batchSize, workers int) (*PipelinedComparison, error) {
+	waves := cvebench.ConflictFreeWaves(cvebench.All())
+	out := &PipelinedComparison{Waves: len(waves)}
+	ctx := context.Background()
+
+	for wi, wave := range waves {
+		cves := make([]string, len(wave))
+		for i, e := range wave {
+			cves[i] = e.CVE
+		}
+
+		// Serial mode: one SMI per patch.
+		d, err := NewDeployment(version, 2, kcrypto.HashSHA256, wave...)
+		if err != nil {
+			return nil, fmt.Errorf("wave %d serial deployment: %w", wi, err)
+		}
+		smis0 := d.System.SMM.Entries()
+		pause0 := d.System.SMM.TotalPause()
+		for _, cve := range cves {
+			if _, err := d.System.Apply(ctx, cve); err != nil {
+				d.Close()
+				return nil, fmt.Errorf("wave %d serial apply %s: %w", wi, cve, err)
+			}
+		}
+		out.SerialSMIs += d.System.SMM.Entries() - smis0
+		out.SerialPause += d.System.SMM.TotalPause() - pause0
+		d.Close()
+
+		// Pipelined mode: batched SMIs on an identical fresh machine.
+		d, err = NewDeployment(version, 2, kcrypto.HashSHA256, wave...)
+		if err != nil {
+			return nil, fmt.Errorf("wave %d pipelined deployment: %w", wi, err)
+		}
+		rep, err := d.System.ApplyAll(ctx, cves,
+			core.WithBatchSize(batchSize), core.WithFetchWorkers(workers))
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("wave %d ApplyAll: %w", wi, err)
+		}
+		if len(rep.Failed) > 0 {
+			d.Close()
+			for cve, ferr := range rep.Failed {
+				return nil, fmt.Errorf("wave %d ApplyAll %s: %w", wi, cve, ferr)
+			}
+		}
+		out.BatchSMIs += rep.SMIs
+		out.BatchPause += rep.SMMPause
+		out.Batches += rep.Batches
+		out.Singles += rep.Singles
+		out.Retries += rep.Retries
+		out.Degraded += rep.Degraded
+		out.Patches += len(rep.Reports)
+		d.Close()
+	}
+	return out, nil
+}
+
+// PipelinedTable renders the serial-vs-pipelined comparison.
+func PipelinedTable(p *PipelinedComparison, batchSize, workers int) *report.Table {
+	t := report.NewTable("Pipelined multi-CVE deployment vs serial (Table I suite)",
+		"Mode", "Patches", "SMIs", "Total OS Pause")
+	t.AddRow("serial Apply", fmt.Sprintf("%d", p.Patches),
+		fmt.Sprintf("%d", p.SerialSMIs), report.Us(p.SerialPause)+"us")
+	t.AddRow("pipelined ApplyAll", fmt.Sprintf("%d", p.Patches),
+		fmt.Sprintf("%d", p.BatchSMIs), report.Us(p.BatchPause)+"us")
+	t.AddNote(fmt.Sprintf("batch size %d, %d fetch workers, %d conflict-free waves; pause reduction %.1f%%",
+		batchSize, workers, p.Waves, 100*p.PauseReduction()))
+	t.AddNote(fmt.Sprintf("%d batch SMIs + %d per-patch SMIs, %d retries, %d degraded",
+		p.Batches, p.Singles, p.Retries, p.Degraded))
+	return t
+}

@@ -12,7 +12,9 @@
 package patchserver
 
 import (
+	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -90,6 +92,14 @@ type Server struct {
 	statuses []StatusReport
 	closed   bool
 	wg       sync.WaitGroup
+
+	// channelKeys caches the server→enclave channel key per attested
+	// target identity (version + measurement + attestation key), so a
+	// target may open several helper connections — pipelined fetching —
+	// that all encrypt to the one key its enclave holds. Only attested
+	// hellos (non-empty AttKey) are cached; anonymous hellos keep the
+	// fresh-key-per-connection behavior.
+	channelKeys map[string][]byte
 }
 
 // StatusReport is one target status received by the server.
@@ -113,7 +123,11 @@ func NewServer(addr string, trees TreeProvider) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("patchserver: %w", err)
 	}
-	s := &Server{ln: ln, trees: trees, patches: make(map[string]kernel.SourcePatch)}
+	s := &Server{
+		ln: ln, trees: trees,
+		patches:     make(map[string]kernel.SourcePatch),
+		channelKeys: make(map[string][]byte),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -256,9 +270,30 @@ func (s *Server) handleHello(sess **session, req *request) *response {
 	if _, err := s.trees(req.Info.Version); err != nil {
 		return &response{Err: fmt.Sprintf("unsupported kernel: %v", err)}
 	}
+	var cacheID string
+	if len(req.AttKey) > 0 {
+		sum := sha256.Sum256(req.AttKey)
+		cacheID = fmt.Sprintf("%s|%t|%t|%x|%x", req.Info.Version, req.Info.Ftrace, req.Info.Inline, req.Measurement, sum)
+	}
 	key := make([]byte, 32)
-	if _, err := io.ReadFull(rand.Reader, key); err != nil {
-		return &response{Err: "server entropy failure"}
+	s.mu.Lock()
+	cached, ok := s.channelKeys[cacheID]
+	s.mu.Unlock()
+	if cacheID != "" && ok {
+		copy(key, cached)
+	} else {
+		if _, err := io.ReadFull(rand.Reader, key); err != nil {
+			return &response{Err: "server entropy failure"}
+		}
+		if cacheID != "" {
+			s.mu.Lock()
+			if prior, ok := s.channelKeys[cacheID]; ok {
+				copy(key, prior) // lost a racing hello: converge on its key
+			} else {
+				s.channelKeys[cacheID] = append([]byte(nil), key...)
+			}
+			s.mu.Unlock()
+		}
 	}
 	crypt, err := kcrypto.NewSession(key, nil)
 	if err != nil {
@@ -351,19 +386,61 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *request) (*response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("patchserver send: %w", err)
+	resps, err := c.roundTrips(context.Background(), []*request{req})
+	if err != nil {
+		return nil, err
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("patchserver recv: %w", err)
+	if resps[0].Err != "" {
+		return nil, errors.New("patchserver: " + resps[0].Err)
 	}
-	if resp.Err != "" {
-		return nil, errors.New("patchserver: " + resp.Err)
+	return resps[0], nil
+}
+
+// roundTrips sends a pipelined burst of requests and collects the
+// responses in order. The server's per-connection loop processes
+// requests sequentially, so pipelining N fetches saves N-1 round trip
+// waits without any protocol change.
+//
+// Cancellation is logical, not transport-level: when ctx fires, the
+// call returns immediately, but the exchange finishes in the
+// background under the connection mutex so the gob stream stays framed
+// and the client remains usable. (An abandoned fetch's responses are
+// drained and discarded.)
+func (c *Client) roundTrips(ctx context.Context, reqs []*request) ([]*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return &resp, nil
+	type outcome struct {
+		resps []*response
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, req := range reqs {
+			if err := c.enc.Encode(req); err != nil {
+				ch <- outcome{nil, fmt.Errorf("patchserver send: %w", err)}
+				return
+			}
+		}
+		resps := make([]*response, 0, len(reqs))
+		for range reqs {
+			var resp response
+			if err := c.dec.Decode(&resp); err != nil {
+				ch <- outcome{nil, fmt.Errorf("patchserver recv: %w", err)}
+				return
+			}
+			resps = append(resps, &resp)
+		}
+		ch <- outcome{resps, nil}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case out := <-ch:
+		return out.resps, out.err
+	}
 }
 
 // Hello registers the target's OS information and enclave measurement
@@ -387,13 +464,50 @@ func (c *Client) HelloWithAttestation(info OSInfo, meas sgx.Measurement, attKey 
 	return resp.ServerKey, nil
 }
 
-// FetchPatch downloads the encrypted binary patch for a CVE.
-func (c *Client) FetchPatch(cve string) ([]byte, error) {
-	resp, err := c.roundTrip(&request{Kind: kindPatch, CVE: cve})
+// FetchResult is one CVE's outcome from a pipelined fetch.
+type FetchResult struct {
+	CVE  string
+	Blob []byte
+	Err  error
+}
+
+// FetchPatch downloads the encrypted binary patch for a CVE. The
+// context cancels or deadlines the wait (see roundTrips for the
+// cancellation semantics).
+func (c *Client) FetchPatch(ctx context.Context, cve string) ([]byte, error) {
+	rs, err := c.FetchPatches(ctx, []string{cve})
 	if err != nil {
 		return nil, err
 	}
-	return resp.Blob, nil
+	if rs[0].Err != nil {
+		return nil, rs[0].Err
+	}
+	return rs[0].Blob, nil
+}
+
+// FetchPatches downloads many encrypted binary patches in one
+// pipelined burst over the connection. The returned slice matches cves
+// in order; per-CVE failures land in FetchResult.Err while the error
+// return is reserved for transport-level failures.
+func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult, error) {
+	reqs := make([]*request, len(cves))
+	for i, cve := range cves {
+		reqs[i] = &request{Kind: kindPatch, CVE: cve}
+	}
+	resps, err := c.roundTrips(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FetchResult, len(cves))
+	for i, resp := range resps {
+		out[i].CVE = cves[i]
+		if resp.Err != "" {
+			out[i].Err = errors.New("patchserver: " + resp.Err)
+			continue
+		}
+		out[i].Blob = resp.Blob
+	}
+	return out, nil
 }
 
 // ReportStatus forwards the SMM status mailbox to the server (the

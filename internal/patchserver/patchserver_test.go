@@ -1,6 +1,7 @@
 package patchserver
 
 import (
+	"context"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
@@ -52,7 +53,7 @@ func TestHelloAndFetch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob, err := c.FetchPatch(entries[0].CVE)
+	blob, err := c.FetchPatch(context.Background(), entries[0].CVE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFetchBeforeHello(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.FetchPatch("CVE-2014-0196"); err == nil {
+	if _, err := c.FetchPatch(context.Background(), "CVE-2014-0196"); err == nil {
 		t.Fatal("patch served without hello")
 	}
 }
@@ -129,7 +130,7 @@ func TestFetchUnknownCVE(t *testing.T) {
 	if _, err := c.Hello(OSInfo{Version: "4.4", Ftrace: true, Inline: true}, goodMeasurement("4.4")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.FetchPatch("CVE-0000-0000"); err == nil {
+	if _, err := c.FetchPatch(context.Background(), "CVE-0000-0000"); err == nil {
 		t.Fatal("unknown CVE served")
 	}
 }
@@ -148,7 +149,7 @@ func TestConfigurationMattersToBlob(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		blob, err := c.FetchPatch(entries[0].CVE)
+		blob, err := c.FetchPatch(context.Background(), entries[0].CVE)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func TestConcurrentClients(t *testing.T) {
 				done <- err
 				return
 			}
-			_, err = c.FetchPatch(entries[0].CVE)
+			_, err = c.FetchPatch(context.Background(), entries[0].CVE)
 			done <- err
 		}()
 	}
@@ -269,5 +270,84 @@ func TestAuthenticatedStatus(t *testing.T) {
 	if !sts[0].Authentic || sts[1].Authentic || sts[2].Authentic {
 		t.Errorf("authenticity = %v %v %v, want true false false",
 			sts[0].Authentic, sts[1].Authentic, sts[2].Authentic)
+	}
+}
+
+func TestFetchPatchesPipelined(t *testing.T) {
+	srv, entries := newTestServer(t, "CVE-2014-0196", "CVE-2016-7916")
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello(OSInfo{Version: "4.4", Ftrace: true, Inline: true}, goodMeasurement("4.4")); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.FetchPatches(context.Background(),
+		[]string{entries[0].CVE, "CVE-0000-0000", entries[1].CVE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Err != nil || len(rs[0].Blob) == 0 {
+		t.Errorf("member 0: %v", rs[0].Err)
+	}
+	// Per-CVE failure lands in the member, not the transport error.
+	if rs[1].Err == nil {
+		t.Error("unknown CVE served in pipelined fetch")
+	}
+	if rs[2].Err != nil || len(rs[2].Blob) == 0 {
+		t.Errorf("member 2 after failed member: %v", rs[2].Err)
+	}
+}
+
+func TestFetchCancellationKeepsClientUsable(t *testing.T) {
+	srv, entries := newTestServer(t, "CVE-2014-0196")
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello(OSInfo{Version: "4.4", Ftrace: true, Inline: true}, goodMeasurement("4.4")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.FetchPatch(ctx, entries[0].CVE); err == nil {
+		t.Fatal("canceled fetch succeeded")
+	}
+	// The abandoned exchange drains in the background; the connection
+	// stays framed and a follow-up fetch works.
+	if _, err := c.FetchPatch(context.Background(), entries[0].CVE); err != nil {
+		t.Fatalf("fetch after cancellation: %v", err)
+	}
+}
+
+func TestChannelKeyCacheForAttestedTargets(t *testing.T) {
+	srv, _ := newTestServer(t, "CVE-2014-0196")
+	attKey := bytes.Repeat([]byte{9}, 32)
+	hello := func(key []byte) []byte {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		k, err := c.HelloWithAttestation(OSInfo{Version: "4.4", Ftrace: true, Inline: true},
+			goodMeasurement("4.4"), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	k1 := hello(attKey)
+	k2 := hello(attKey)
+	if !bytes.Equal(k1, k2) {
+		t.Error("attested re-hello did not return the cached channel key (parallel fetch connections would not decrypt)")
+	}
+	k3 := hello(bytes.Repeat([]byte{8}, 32))
+	if bytes.Equal(k1, k3) {
+		t.Error("different attestation identity shares a channel key")
 	}
 }

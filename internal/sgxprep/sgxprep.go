@@ -34,6 +34,10 @@ const (
 	FnPrepare = 1
 	// FnPrepareRollback builds an encrypted rollback command package.
 	FnPrepareRollback = 2
+	// FnPrepareBatch preprocesses many patch blobs in one ECALL,
+	// sealing each member with its own ephemeral key against the same
+	// SMM public key, for batched SMI delivery.
+	FnPrepareBatch = 3
 )
 
 // EnclavePages is the number of EPC pages the preparation enclave
@@ -63,6 +67,44 @@ type PrepareArgs struct {
 type RollbackArgs struct {
 	ID     string
 	SMMPub []byte
+}
+
+// BatchPrepareArgs is the input of FnPrepareBatch. Members are
+// prepared in order against a running allocation cursor: member i+1's
+// mem_X placement assumes members 0..i apply first, which is exactly
+// the order the SMM batch handler processes the staging directory.
+type BatchPrepareArgs struct {
+	// ServerBlobs are the encrypted BinaryPatches, one per member.
+	ServerBlobs [][]byte
+
+	// SMMPub is the SMM handler's published DH public key; every
+	// member is sealed against it with a fresh enclave ephemeral key.
+	SMMPub []byte
+
+	// MemXCursor/DataCursor are the SMM handler's allocation cursors
+	// before the batch.
+	MemXCursor uint64
+	DataCursor uint64
+}
+
+// BatchMemberResult is one member's outcome in a BatchResult. A failed
+// member carries Err and consumes no allocation; later members are
+// still prepared (one bad blob does not sink the batch).
+type BatchMemberResult struct {
+	Result
+
+	// Prep is this member's share of the preprocessing cost.
+	Prep time.Duration
+
+	// Err is the member's preparation failure, empty on success. It is
+	// a string because the result crosses the (gob-encoded) enclave
+	// boundary.
+	Err string
+}
+
+// BatchResult is the output of FnPrepareBatch, in member order.
+type BatchResult struct {
+	Members []BatchMemberResult
 }
 
 // Result is the output of both ECALLs.
@@ -183,6 +225,12 @@ func (p *Program) ECall(env *sgx.Env, fn int, args []byte) ([]byte, error) {
 			return nil, fmt.Errorf("sgxprep: args: %w", err)
 		}
 		return p.prepareRollback(env, in)
+	case FnPrepareBatch:
+		var in BatchPrepareArgs
+		if err := gobDecode(args, &in); err != nil {
+			return nil, fmt.Errorf("sgxprep: args: %w", err)
+		}
+		return p.prepareBatch(env, in)
 	default:
 		return nil, fmt.Errorf("sgxprep: no such ecall %d", fn)
 	}
@@ -233,6 +281,76 @@ func (p *Program) prepare(env *sgx.Env, in PrepareArgs) ([]byte, error) {
 	res.DataUsed = prepared.DataUsed
 	res.PayloadBytes = bp.PayloadBytes()
 	return gobEncode(res)
+}
+
+// prepareBatch is the prepare-many ECALL: each server blob is
+// decrypted, preprocessed at the running cursor, and sealed with its
+// own ephemeral key against the shared SMM public key. Preprocessing
+// costs are computed directly from the model (not clock spans) so the
+// per-member numbers stay exact when pipelined fetches advance the
+// shared clock concurrently.
+func (p *Program) prepareBatch(env *sgx.Env, in BatchPrepareArgs) ([]byte, error) {
+	serverKey := make([]byte, 32)
+	if err := env.Read(serverKeyOff, serverKey); err != nil {
+		return nil, err
+	}
+	serverSession, err := kcrypto.NewSession(serverKey, p.rng)
+	if err != nil {
+		return nil, err
+	}
+
+	curX, curD := in.MemXCursor, in.DataCursor
+	out := BatchResult{Members: make([]BatchMemberResult, len(in.ServerBlobs))}
+	var total time.Duration
+	for i, blob := range in.ServerBlobs {
+		mr := &out.Members[i]
+		plain, err := serverSession.Decrypt(blob)
+		if err != nil {
+			mr.Err = fmt.Sprintf("server blob: %v", err)
+			continue
+		}
+		var bp patch.BinaryPatch
+		if err := gobDecode(plain, &bp); err != nil {
+			mr.Err = fmt.Sprintf("server blob decode: %v", err)
+			continue
+		}
+		mr.ID = bp.ID
+		if bp.KernelVersion != p.cfg.KernelVersion {
+			mr.Err = fmt.Sprintf("patch for kernel %q, running %q", bp.KernelVersion, p.cfg.KernelVersion)
+			continue
+		}
+		prepared, err := patch.Prepare(&bp, p.symtab, p.cfg.Placement, curX, curD)
+		if err != nil {
+			mr.Err = err.Error()
+			continue
+		}
+		wire, err := patch.Marshal(prepared, patch.OpPatch, p.cfg.HashAlg)
+		if err != nil {
+			mr.Err = err.Error()
+			continue
+		}
+		prep := timing.Linear(p.cfg.Model.PrepFixed, p.cfg.Model.PrepPerByte, bp.PayloadBytes())
+		p.cfg.Clock.Advance(prep)
+		total += prep
+		sealed, err := p.sealForSMM(wire, in.SMMPub)
+		if err != nil {
+			mr.Err = err.Error()
+			continue
+		}
+		mr.Ciphertext = sealed.Ciphertext
+		mr.EnclavePub = sealed.EnclavePub
+		mr.MemXUsed = prepared.MemXUsed
+		mr.DataUsed = prepared.DataUsed
+		mr.PayloadBytes = bp.PayloadBytes()
+		mr.Prep = prep
+		// MemXUsed/DataUsed are per-patch consumption deltas; cursors
+		// advance only past successful members, matching the SMM
+		// handler, which skips failed ones.
+		curX += prepared.MemXUsed
+		curD += prepared.DataUsed
+	}
+	p.lastPre = Breakdown{Preprocess: total}
+	return gobEncode(out)
 }
 
 func (p *Program) prepareRollback(_ *sgx.Env, in RollbackArgs) ([]byte, error) {
@@ -289,6 +407,15 @@ func EncodeArgs(v any) ([]byte, error) { return gobEncode(v) }
 // DecodeResult decodes an ECALL result (helper-side convenience).
 func DecodeResult(data []byte) (*Result, error) {
 	var r Result
+	if err := gobDecode(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodeBatchResult decodes a FnPrepareBatch result.
+func DecodeBatchResult(data []byte) (*BatchResult, error) {
+	var r BatchResult
 	if err := gobDecode(data, &r); err != nil {
 		return nil, err
 	}

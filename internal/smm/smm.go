@@ -85,7 +85,8 @@ type Controller struct {
 	locked   bool
 	handlers map[Command]Handler
 
-	entries uint64 // SMIs dispatched
+	entries uint64        // SMIs dispatched
+	pause   time.Duration // total virtual OS-pause across all SMIs
 }
 
 // NewController maps SMRAM at base and returns the controller. SMRAM
@@ -158,6 +159,17 @@ func (c *Controller) Entries() uint64 {
 	return c.entries
 }
 
+// TotalPause returns the cumulative virtual time the OS has spent
+// paused inside SMIs: entry + exit switches plus every cost the
+// handlers charged while the machine was stopped. Unlike clock spans,
+// this is exact even when other goroutines (e.g. pipelined fetches)
+// advance the shared clock concurrently.
+func (c *Controller) TotalPause() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pause
+}
+
 // Clock returns the controller's virtual clock.
 func (c *Controller) Clock() *timing.Clock { return c.clock }
 
@@ -186,6 +198,13 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 	c.clock.Advance(c.model.SMMEntry)
 	defer c.clock.Advance(c.model.SMMExit)
 
+	ctx := &Context{ctrl: c, Arg: arg}
+	defer func() {
+		c.mu.Lock()
+		c.pause += c.model.SMMEntry + c.model.SMMExit + ctx.charged
+		c.mu.Unlock()
+	}()
+
 	c.mu.Lock()
 	c.entries++
 	c.mu.Unlock()
@@ -201,7 +220,6 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 		return fmt.Errorf("smm: save state: %w", err)
 	}
 
-	ctx := &Context{ctrl: c, Arg: arg}
 	handlerErr := h(ctx, arg)
 
 	restored, err := c.loadStates(len(states))
@@ -270,6 +288,11 @@ func boolByte(b bool) byte {
 type Context struct {
 	ctrl *Controller
 	Arg  uint64
+
+	// charged accumulates the virtual time this SMI's handler charged.
+	// Only the handler goroutine touches it (the machine is paused), so
+	// it needs no lock.
+	charged time.Duration
 }
 
 // Read copies physical memory at SMM privilege.
@@ -315,7 +338,16 @@ func (ctx *Context) Clock() *timing.Clock { return ctx.ctrl.clock }
 // Model returns the calibrated cost model.
 func (ctx *Context) Model() timing.Model { return ctx.ctrl.model }
 
-// Charge advances the virtual clock by fixed + n bytes at rate.
+// Charge advances the virtual clock by fixed + n bytes at rate and
+// records the cost against the current SMI.
 func (ctx *Context) Charge(fixed time.Duration, perByte timing.Rate, n int) {
-	ctx.ctrl.clock.Advance(timing.Linear(fixed, perByte, n))
+	d := timing.Linear(fixed, perByte, n)
+	ctx.charged += d
+	ctx.ctrl.clock.Advance(d)
 }
+
+// Charged returns the virtual time charged so far during this SMI.
+// Handlers use deltas of it to attribute per-stage costs: unlike clock
+// spans, it is unaffected by concurrent clock advances from code
+// running outside SMM (e.g. pipelined patch fetches).
+func (ctx *Context) Charged() time.Duration { return ctx.charged }

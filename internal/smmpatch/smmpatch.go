@@ -39,6 +39,11 @@ const (
 	// CmdProcessPackage makes SMM fetch, decrypt, verify, and execute
 	// the package staged in mem_W (patch or rollback).
 	CmdProcessPackage smm.Command = 0x50
+	// CmdProcessBatch makes SMM process a multi-package staging
+	// directory in mem_W: N independently sealed patch packages are
+	// decrypted, verified, and applied under a single world switch,
+	// with per-member outcomes published in mem_RW.
+	CmdProcessBatch smm.Command = 0x42
 	// CmdIntrospect makes SMM verify all applied patches are intact,
 	// repairing any tampering it finds (§V-D).
 	CmdIntrospect smm.Command = 0x49
@@ -59,6 +64,10 @@ const (
 	// digest (SMM-written; read by the helper/remote server for the
 	// DoS-detection handshake of §V-D).
 	offStatus = 0x8000
+	// offBatchResults: u32 member count + per-member u32 status codes
+	// (SMM-written after CmdProcessBatch; read by the helper to learn
+	// which batch members were applied, refused, or rejected).
+	offBatchResults = 0x8100
 )
 
 // Status codes published at offStatus.
@@ -69,6 +78,14 @@ const (
 	StatusRolledBack
 	StatusError
 	StatusTampered
+	// StatusTargetActive is a per-member batch outcome: the activeness
+	// check refused the patch because its target was live on a vCPU.
+	// Unlike StatusError it is retryable — nothing about the package
+	// was wrong, the machine just paused at an inconvenient moment.
+	StatusTargetActive
+	// StatusBatchDone is the mailbox summary code after a batch SMI;
+	// per-member outcomes are published separately at offBatchResults.
+	StatusBatchDone
 )
 
 // mem_W layout: u32 length + ciphertext staged by the helper.
@@ -140,13 +157,13 @@ type Handler struct {
 
 	// SMRAM-resident state.
 	keypair  *kcrypto.KeyPair
-	session  *kcrypto.Session
 	journal  []appliedPatch
 	memXUsed uint64
 	dataUsed uint64
 	seq      uint64
 
 	lastBreakdown Breakdown
+	lastBatch     []Breakdown
 	tamperEvents  int
 
 	textBaseline    [kcrypto.DigestSize]byte
@@ -235,6 +252,14 @@ func (h *Handler) TamperEvents() int { return h.tamperEvents }
 // package-processing SMI.
 func (h *Handler) LastBreakdown() Breakdown { return h.lastBreakdown }
 
+// BatchBreakdowns returns the per-member stage times of the most
+// recent batch SMI, in staging order. Fixed per-SMI costs (key
+// generation) are amortized evenly across the members so the
+// per-patch reports still sum to the true SMI cost.
+func (h *Handler) BatchBreakdowns() []Breakdown {
+	return append([]Breakdown(nil), h.lastBatch...)
+}
+
 // Register installs the handler's SMI commands on the controller.
 // Must run before the controller is locked.
 func (h *Handler) Register(ctrl *smm.Controller) error {
@@ -242,6 +267,9 @@ func (h *Handler) Register(ctrl *smm.Controller) error {
 		return err
 	}
 	if err := ctrl.Register(CmdProcessPackage, h.handlePackage); err != nil {
+		return err
+	}
+	if err := ctrl.Register(CmdProcessBatch, h.handleBatch); err != nil {
 		return err
 	}
 	if err := ctrl.Register(CmdIntrospect, h.handleIntrospect); err != nil {
@@ -275,7 +303,6 @@ func (h *Handler) rekey(ctx *smm.Context) error {
 		return err
 	}
 	h.keypair = kp
-	h.session = nil
 	return nil
 }
 
@@ -288,17 +315,9 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 	if h.keypair == nil {
 		return h.fail(ctx, ErrNoSession)
 	}
-	peerPub, err := h.readBlob(ctx, h.res.RWBase()+offEnclavePub, 4096)
+	session, err := h.deriveSession(ctx, h.keypair)
 	if err != nil {
-		return h.fail(ctx, fmt.Errorf("smmpatch: read enclave key: %w", err))
-	}
-	shared, err := h.keypair.SharedSecret(peerPub)
-	if err != nil {
-		return h.fail(ctx, fmt.Errorf("smmpatch: key agreement: %w", err))
-	}
-	session, err := kcrypto.NewSession(shared, h.rng)
-	if err != nil {
-		return h.fail(ctx, fmt.Errorf("smmpatch: session: %w", err))
+		return h.fail(ctx, err)
 	}
 	// Single-use key: the pair is consumed whether or not the rest of
 	// the operation succeeds (replayed ciphertexts die here). A fresh
@@ -319,22 +338,80 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 		return h.fail(ctx, fmt.Errorf("smmpatch: fetch: %w", err))
 	}
 
+	pkg, err := h.decryptAndVerify(ctx, session, ciphertext, &h.lastBreakdown)
+	if err != nil {
+		return h.fail(ctx, err)
+	}
+
+	switch pkg.Op {
+	case patch.OpPatch:
+		if err := h.applyPatchCore(ctx, pkg, &h.lastBreakdown); err != nil {
+			return h.fail(ctx, err)
+		}
+		if err := h.rebaselineText(ctx); err != nil {
+			return h.fail(ctx, err)
+		}
+		return h.status(ctx, StatusPatched, attestation(pkg.ID, h.journal))
+	case patch.OpRollback:
+		id, err := h.rollbackCore(ctx, pkg, &h.lastBreakdown)
+		if err != nil {
+			return h.fail(ctx, err)
+		}
+		if err := h.rebaselineText(ctx); err != nil {
+			return h.fail(ctx, err)
+		}
+		return h.status(ctx, StatusRolledBack, attestation(id, h.journal))
+	default:
+		return h.fail(ctx, fmt.Errorf("smmpatch: bad op %d", pkg.Op))
+	}
+}
+
+// deriveSession reads the enclave's public key from mem_RW and derives
+// the package transport session from the given SMM key pair.
+func (h *Handler) deriveSession(ctx *smm.Context, kp *kcrypto.KeyPair) (*kcrypto.Session, error) {
+	peerPub, err := h.readBlob(ctx, h.res.RWBase()+offEnclavePub, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("smmpatch: read enclave key: %w", err)
+	}
+	return h.sessionFor(kp, peerPub)
+}
+
+// sessionFor derives a transport session from an SMM key pair and a
+// peer (enclave ephemeral) public key blob.
+func (h *Handler) sessionFor(kp *kcrypto.KeyPair, peerPub []byte) (*kcrypto.Session, error) {
+	shared, err := kp.SharedSecret(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("smmpatch: key agreement: %w", err)
+	}
+	session, err := kcrypto.NewSession(shared, h.rng)
+	if err != nil {
+		return nil, fmt.Errorf("smmpatch: session: %w", err)
+	}
+	return session, nil
+}
+
+// decryptAndVerify runs the package through decryption, parsing,
+// integrity verification, and the version check, recording the
+// Decrypt/Verify stage costs into bd. Stage times are measured as
+// deltas of the SMI's charged cost, which — unlike clock spans — stays
+// exact when concurrent pipeline goroutines advance the shared clock.
+func (h *Handler) decryptAndVerify(ctx *smm.Context, session *kcrypto.Session, ciphertext []byte, bd *Breakdown) (*patch.Package, error) {
 	// Decrypt (charged per ciphertext byte, Table III column 1).
-	start := ctx.Clock().Now()
+	start := ctx.Charged()
 	plaintext, err := session.Decrypt(ciphertext)
 	ctx.Charge(ctx.Model().DecryptFixed, ctx.Model().DecryptPerByte, len(ciphertext))
-	h.lastBreakdown.Decrypt = ctx.Clock().Now() - start
+	bd.Decrypt = ctx.Charged() - start
 	if err != nil {
-		return h.fail(ctx, fmt.Errorf("smmpatch: decrypt: %w", err))
+		return nil, fmt.Errorf("smmpatch: decrypt: %w", err)
 	}
 
 	// Parse and verify (Table III column 2).
-	start = ctx.Clock().Now()
+	start = ctx.Charged()
 	pkg, err := patch.Unmarshal(plaintext)
 	if err != nil {
 		ctx.Charge(ctx.Model().VerifyFixed, ctx.Model().VerifyPerByte, len(plaintext))
-		h.lastBreakdown.Verify = ctx.Clock().Now() - start
-		return h.fail(ctx, fmt.Errorf("smmpatch: parse: %w", err))
+		bd.Verify = ctx.Charged() - start
+		return nil, fmt.Errorf("smmpatch: parse: %w", err)
 	}
 	perByte := ctx.Model().VerifyPerByte
 	if pkg.HashAlg == kcrypto.HashSDBM {
@@ -344,42 +421,38 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 		sum, err := kcrypto.Sum(pkg.HashAlg, f.Payload)
 		ctx.Charge(0, perByte, len(f.Payload))
 		if err != nil {
-			return h.fail(ctx, err)
+			return nil, err
 		}
 		if sum != pkg.FuncHashes[i] {
-			h.lastBreakdown.Verify = ctx.Clock().Now() - start
-			return h.fail(ctx, fmt.Errorf("%w: function %s", ErrBadIntegrity, f.Name))
+			bd.Verify = ctx.Charged() - start
+			return nil, fmt.Errorf("%w: function %s", ErrBadIntegrity, f.Name)
 		}
 	}
 	ctx.Charge(ctx.Model().VerifyFixed, 0, 0)
-	h.lastBreakdown.Verify = ctx.Clock().Now() - start
+	bd.Verify = ctx.Charged() - start
 
 	if pkg.KernelVersion != h.kernelVersion {
-		return h.fail(ctx, fmt.Errorf("%w: package %q, running %q",
-			ErrVersionSkew, pkg.KernelVersion, h.kernelVersion))
+		return nil, fmt.Errorf("%w: package %q, running %q",
+			ErrVersionSkew, pkg.KernelVersion, h.kernelVersion)
 	}
-
-	switch pkg.Op {
-	case patch.OpPatch:
-		return h.applyPatch(ctx, pkg)
-	case patch.OpRollback:
-		return h.rollback(ctx, pkg)
-	default:
-		return h.fail(ctx, fmt.Errorf("smmpatch: bad op %d", pkg.Op))
-	}
+	return pkg, nil
 }
 
-// applyPatch performs the §V-C patch steps on a verified package.
-func (h *Handler) applyPatch(ctx *smm.Context, pkg *patch.Package) error {
+// applyPatchCore performs the §V-C patch steps on a verified package:
+// duplicate/activeness checks, bounds checks, transactional mutation,
+// and journaling. It records the Apply stage cost in bd but does not
+// write the status mailbox or rebaseline the text watch — callers
+// (single-package and batch paths) do that per their own protocol.
+func (h *Handler) applyPatchCore(ctx *smm.Context, pkg *patch.Package, bd *Breakdown) error {
 	for _, j := range h.journal {
 		if j.id == pkg.ID {
-			return h.fail(ctx, fmt.Errorf("%w: %s", ErrDuplicate, pkg.ID))
+			return fmt.Errorf("%w: %s", ErrDuplicate, pkg.ID)
 		}
 	}
-	start := ctx.Clock().Now()
+	start := ctx.Charged()
 	if h.checkActive {
 		if err := h.activenessCheck(ctx, pkg); err != nil {
-			return h.fail(ctx, err)
+			return err
 		}
 	}
 	entry := appliedPatch{id: pkg.ID, memXPrev: h.memXUsed, dataPrev: h.dataUsed}
@@ -390,7 +463,7 @@ func (h *Handler) applyPatch(ctx *smm.Context, pkg *patch.Package) error {
 	memXEnd := h.place.MemXBase + h.place.MemXSize
 	for _, f := range pkg.Funcs {
 		if f.PAddr < h.place.MemXBase+h.memXUsed || f.PAddr+uint64(len(f.Payload)) > memXEnd {
-			return h.fail(ctx, fmt.Errorf("smmpatch: %s payload placement %#x outside free mem_X", f.Name, f.PAddr))
+			return fmt.Errorf("smmpatch: %s payload placement %#x outside free mem_X", f.Name, f.PAddr)
 		}
 	}
 
@@ -400,7 +473,7 @@ func (h *Handler) applyPatch(ctx *smm.Context, pkg *patch.Package) error {
 	// motivating reliability concern).
 	abort := func(err error) error {
 		h.undoPartial(ctx, &entry)
-		return h.fail(ctx, err)
+		return err
 	}
 
 	// Step two (§V-C): global/data edits.
@@ -464,13 +537,8 @@ func (h *Handler) applyPatch(ctx *smm.Context, pkg *patch.Package) error {
 		}
 	}
 	h.journal = append(h.journal, entry)
-	h.session = nil
-	h.lastBreakdown.Apply = ctx.Clock().Now() - start
-
-	if err := h.rebaselineText(ctx); err != nil {
-		return h.fail(ctx, err)
-	}
-	return h.status(ctx, StatusPatched, attestation(pkg.ID, h.journal))
+	bd.Apply = ctx.Charged() - start
+	return nil
 }
 
 // undoPartial reverts the mutations a failed apply already journaled
@@ -490,16 +558,17 @@ func (h *Handler) undoPartial(ctx *smm.Context, entry *appliedPatch) {
 	}
 }
 
-// rollback undoes the most recent applied patch (§V-C "the last
-// patching operation can always be rolled back").
-func (h *Handler) rollback(ctx *smm.Context, pkg *patch.Package) error {
-	start := ctx.Clock().Now()
+// rollbackCore undoes the most recent applied patch (§V-C "the last
+// patching operation can always be rolled back") and returns its ID
+// for attestation. Status/rebaseline are left to the caller.
+func (h *Handler) rollbackCore(ctx *smm.Context, pkg *patch.Package, bd *Breakdown) (string, error) {
+	start := ctx.Charged()
 	if len(h.journal) == 0 {
-		return h.fail(ctx, ErrNothingApplied)
+		return "", ErrNothingApplied
 	}
 	last := h.journal[len(h.journal)-1]
 	if pkg.ID != "" && pkg.ID != last.id {
-		return h.fail(ctx, fmt.Errorf("%w: want %s, asked %s", ErrRollbackOrder, last.id, pkg.ID))
+		return "", fmt.Errorf("%w: want %s, asked %s", ErrRollbackOrder, last.id, pkg.ID)
 	}
 	// Restore trampoline sites (reverse order) and global edits.
 	for i := len(last.funcs) - 1; i >= 0; i-- {
@@ -508,7 +577,7 @@ func (h *Handler) rollback(ctx *smm.Context, pkg *patch.Package) error {
 			continue
 		}
 		if err := ctx.Write(f.trampolineAt, f.original); err != nil {
-			return h.fail(ctx, fmt.Errorf("smmpatch: rollback %s: %w", f.name, err))
+			return "", fmt.Errorf("smmpatch: rollback %s: %w", f.name, err)
 		}
 		ctx.Charge(0, ctx.Model().ApplyPerByte, len(f.original))
 	}
@@ -516,7 +585,7 @@ func (h *Handler) rollback(ctx *smm.Context, pkg *patch.Package) error {
 		g := last.globals[i]
 		if g.original != nil {
 			if err := ctx.Write(g.addr, g.original); err != nil {
-				return h.fail(ctx, fmt.Errorf("smmpatch: rollback global: %w", err))
+				return "", fmt.Errorf("smmpatch: rollback global: %w", err)
 			}
 			ctx.Charge(0, ctx.Model().ApplyPerByte, len(g.original))
 		}
@@ -524,12 +593,8 @@ func (h *Handler) rollback(ctx *smm.Context, pkg *patch.Package) error {
 	h.memXUsed = last.memXPrev
 	h.dataUsed = last.dataPrev
 	h.journal = h.journal[:len(h.journal)-1]
-	h.session = nil
-	h.lastBreakdown.Apply = ctx.Clock().Now() - start
-	if err := h.rebaselineText(ctx); err != nil {
-		return h.fail(ctx, err)
-	}
-	return h.status(ctx, StatusRolledBack, attestation(last.id, h.journal))
+	bd.Apply = ctx.Charged() - start
+	return last.id, nil
 }
 
 // handleIntrospect verifies every applied patch is still in place:

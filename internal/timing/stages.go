@@ -1,0 +1,60 @@
+package timing
+
+import "time"
+
+// Stages reports the virtual time each Figure-2 pipeline stage
+// consumed for one patch — the measurements behind Tables II/III and
+// Figures 4/5. It lives here (rather than in core) so the batch
+// pipeline can account stage times without importing the orchestrator.
+type Stages struct {
+	// SGX-side stages (Table II).
+	Fetch      time.Duration
+	Preprocess time.Duration
+	Pass       time.Duration
+
+	// SMM-side stages (Table III).
+	KeyGen  time.Duration
+	Decrypt time.Duration
+	Verify  time.Duration
+	Apply   time.Duration
+	Switch  time.Duration // SMM entry + exit
+
+	// PayloadBytes is the function payload total for this patch.
+	PayloadBytes int
+}
+
+// SGXTotal is the non-blocking preparation total (Table II "Total").
+func (st Stages) SGXTotal() time.Duration { return st.Fetch + st.Preprocess + st.Pass }
+
+// SMMTotal is the blocking OS-pause total (Table III "Total",
+// including key generation and SMM switching).
+func (st Stages) SMMTotal() time.Duration {
+	return st.KeyGen + st.Decrypt + st.Verify + st.Apply + st.Switch
+}
+
+// Add returns the stage-wise sum of two measurements — used to total a
+// batch without losing the per-stage split.
+func (st Stages) Add(o Stages) Stages {
+	return Stages{
+		Fetch:        st.Fetch + o.Fetch,
+		Preprocess:   st.Preprocess + o.Preprocess,
+		Pass:         st.Pass + o.Pass,
+		KeyGen:       st.KeyGen + o.KeyGen,
+		Decrypt:      st.Decrypt + o.Decrypt,
+		Verify:       st.Verify + o.Verify,
+		Apply:        st.Apply + o.Apply,
+		Switch:       st.Switch + o.Switch,
+		PayloadBytes: st.PayloadBytes + o.PayloadBytes,
+	}
+}
+
+// AmortizeFixed splits a per-SMI fixed cost (world switch, key
+// generation) evenly over the n members of a batched delivery, so
+// per-patch stage reports still sum to the true SMI cost and the
+// Table II/III shape survives batching.
+func AmortizeFixed(fixed time.Duration, n int) time.Duration {
+	if n <= 1 {
+		return fixed
+	}
+	return fixed / time.Duration(n)
+}

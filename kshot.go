@@ -17,12 +17,17 @@
 //
 //	srv, _ := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
 //	srv.RegisterPatch(entry.SourcePatch())
-//	sys, _ := kshot.NewSystem(kshot.Options{
-//		Version:    "4.4",
-//		ExtraFiles: map[string]string{entry.File: entry.Vuln},
-//		ServerAddr: srv.Addr(),
-//	})
-//	report, _ := sys.Apply(entry.CVE) // fetch → enclave prep → SMI → patched
+//	sys, _ := kshot.New(
+//		kshot.WithVersion("4.4"),
+//		kshot.WithExtraFiles(map[string]string{entry.File: entry.Vuln}),
+//		kshot.WithServerAddr(srv.Addr()),
+//	)
+//	report, _ := sys.Apply(ctx, entry.CVE) // fetch → enclave prep → SMI → patched
+//
+// Many CVEs go through the concurrent batch pipeline instead, which
+// fans out the fetches and delivers whole batches under single SMIs:
+//
+//	batch, _ := sys.ApplyAll(ctx, cves, kshot.WithBatchSize(8))
 //
 // See the examples directory for runnable end-to-end scenarios and
 // bench_test.go for the harness regenerating every table and figure of
@@ -31,9 +36,11 @@ package kshot
 
 import (
 	"fmt"
+	"io"
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/mem"
 	"kshot/internal/patchserver"
@@ -44,7 +51,8 @@ import (
 // machine.
 type System = core.System
 
-// Options configures NewSystem.
+// Options configures NewSystem. New is the preferred constructor; this
+// struct remains for callers that assemble configuration imperatively.
 type Options = core.Options
 
 // Report is the outcome of one Apply or Rollback, with per-stage
@@ -54,9 +62,99 @@ type Report = core.Report
 // StageTimes breaks a patch down into the paper's pipeline stages.
 type StageTimes = core.StageTimes
 
-// NewSystem boots a simulated target machine, locks down SMM, attests
-// and loads the preparation enclave, and registers with the patch
-// server.
+// BatchReport is the outcome of one ApplyAll run over the concurrent
+// batch pipeline.
+type BatchReport = core.BatchReport
+
+// HashAlg selects payload verification hashing.
+type HashAlg = kcrypto.HashAlg
+
+// Verification hash algorithms (SHA-256 is the paper's default, SDBM
+// its cheaper alternative).
+const (
+	HashSHA256 = kcrypto.HashSHA256
+	HashSDBM   = kcrypto.HashSDBM
+)
+
+// Typed failure classes for Apply/Rollback/ApplyAll; branch with
+// errors.Is instead of matching messages.
+var (
+	ErrFetch          = core.ErrFetch
+	ErrEnclavePrepare = core.ErrEnclavePrepare
+	ErrStatusMismatch = core.ErrStatusMismatch
+	ErrTargetActive   = core.ErrTargetActive
+)
+
+// StatusError carries the mailbox codes behind an ErrStatusMismatch;
+// retrieve it with errors.As.
+type StatusError = core.StatusError
+
+// Option configures New.
+type Option func(*Options)
+
+// WithVersion selects the kernel version to boot ("3.14" or "4.4",
+// the default).
+func WithVersion(v string) Option { return func(o *Options) { o.Version = v } }
+
+// WithVCPUs sets the target machine's vCPU count (default 4).
+func WithVCPUs(n int) Option { return func(o *Options) { o.NumVCPUs = n } }
+
+// WithExtraFiles adds subsystem source files to the base kernel tree —
+// the vulnerable code the benchmark kernels ship with. Repeated use
+// merges.
+func WithExtraFiles(files map[string]string) Option {
+	return func(o *Options) {
+		if o.ExtraFiles == nil {
+			o.ExtraFiles = make(map[string]string, len(files))
+		}
+		for name, src := range files {
+			o.ExtraFiles[name] = src
+		}
+	}
+}
+
+// WithServerAddr points the system at a remote patch server.
+func WithServerAddr(addr string) Option { return func(o *Options) { o.ServerAddr = addr } }
+
+// WithHashAlg selects the payload verification hash (default SHA-256).
+func WithHashAlg(alg HashAlg) Option { return func(o *Options) { o.HashAlg = alg } }
+
+// WithRand sets the entropy source for all key material (crypto/rand
+// by default; deterministic readers in tests).
+func WithRand(r io.Reader) Option { return func(o *Options) { o.Rand = r } }
+
+// WithActivenessCheck enables the SMM handler's conservative
+// activeness check: patches to functions currently executing on (or
+// returning into) some vCPU are refused with ErrTargetActive and can
+// be retried.
+func WithActivenessCheck(on bool) Option { return func(o *Options) { o.CheckActiveness = on } }
+
+// ApplyOption tunes System.ApplyAll (batch size, fetch fan-out, retry
+// policy).
+type ApplyOption = core.ApplyOption
+
+// ApplyAll tuning options.
+var (
+	WithBatchSize    = core.WithBatchSize
+	WithFetchWorkers = core.WithFetchWorkers
+	WithMaxRetries   = core.WithMaxRetries
+	WithRetryBackoff = core.WithRetryBackoff
+)
+
+// New boots a simulated target machine with the given options, locks
+// down SMM, attests and loads the preparation enclave, and registers
+// with the patch server.
+func New(opts ...Option) (*System, error) {
+	o := Options{Version: "4.4"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewSystem(o)
+}
+
+// NewSystem boots a system from an assembled Options struct. It is the
+// pre-functional-options constructor, kept for compatibility; New is
+// preferred.
 func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
 
 // PatchServer is the remote, trusted patch build server.

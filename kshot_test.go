@@ -1,6 +1,7 @@
 package kshot
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -71,7 +72,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil || !res.Vulnerable {
 		t.Fatalf("expected vulnerable kernel: %+v %v", res, err)
 	}
-	rep, err := sys.Apply(entry.CVE)
+	rep, err := sys.Apply(context.Background(), entry.CVE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestPublicAPIWorkload(t *testing.T) {
 	if err := w.Start(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Apply(entry.CVE); err != nil {
+	if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
 		t.Fatalf("apply under workload: %v", err)
 	}
 	stats := w.Stop()
@@ -169,7 +170,7 @@ func TestRQ1UnderLoad(t *testing.T) {
 			if err := w.Start(); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := sys.Apply(entry.CVE); err != nil {
+			if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
 				t.Fatalf("apply under load: %v", err)
 			}
 			stats := w.Stop()
@@ -184,5 +185,114 @@ func TestRQ1UnderLoad(t *testing.T) {
 				t.Error("patch under load ineffective")
 			}
 		})
+	}
+}
+
+// TestFunctionalOptions checks that New assembles the same Options a
+// struct-literal caller would, including merge semantics for repeated
+// WithExtraFiles, and that the built system honours them.
+func TestFunctionalOptions(t *testing.T) {
+	entry, _ := LookupCVE("CVE-2014-0196")
+	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterPatch(entry.SourcePatch())
+
+	sys, err := New(
+		WithVersion("4.4"),
+		WithVCPUs(2),
+		WithExtraFiles(map[string]string{entry.File: entry.Vuln}),
+		WithExtraFiles(map[string]string{"docs/readme.txt": "; notes"}),
+		WithServerAddr(srv.Addr()),
+		WithHashAlg(HashSDBM),
+		WithActivenessCheck(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if got := sys.Machine.NumVCPUs(); got != 2 {
+		t.Errorf("vCPUs = %d, want 2", got)
+	}
+	if _, err := sys.Apply(context.Background(), entry.CVE); err != nil {
+		t.Fatalf("apply on New()-built system: %v", err)
+	}
+	res, err := entry.Exploit(sys.Kernel, 0)
+	if err != nil || res.Vulnerable {
+		t.Errorf("exploit after patch: %+v %v", res, err)
+	}
+}
+
+// TestFunctionalOptionsDefaults: New with only a server address boots
+// the default 4.4 kernel on the default vCPU count.
+func TestFunctionalOptionsDefaults(t *testing.T) {
+	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sys, err := New(WithServerAddr(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if v := sys.Kernel.Config().Version; v != "4.4" {
+		t.Errorf("default version = %q, want 4.4", v)
+	}
+	if got := sys.Machine.NumVCPUs(); got != 4 {
+		t.Errorf("default vCPUs = %d, want 4", got)
+	}
+}
+
+// TestPublicAPIApplyAll drives the batched pipeline through the facade:
+// several CVEs, one SMI, typed option plumbing intact.
+func TestPublicAPIApplyAll(t *testing.T) {
+	ids := []string{"CVE-2014-0196", "CVE-2016-7916", "CVE-2016-2543"}
+	entries := make([]*CVE, len(ids))
+	files := make(map[string]string, len(ids))
+	for i, id := range ids {
+		e, ok := LookupCVE(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		entries[i] = e
+		files[e.File] = e.Vuln
+	}
+	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entries...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, e := range entries {
+		srv.RegisterPatch(e.SourcePatch())
+	}
+	sys, err := New(WithExtraFiles(files), WithServerAddr(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rep, err := sys.ApplyAll(context.Background(), ids,
+		WithBatchSize(8), WithFetchWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) > 0 {
+		t.Fatalf("failures: %v", rep.Failed)
+	}
+	if rep.SMIs != 1 {
+		t.Errorf("SMIs = %d, want 1 for a single batch", rep.SMIs)
+	}
+	for _, e := range entries {
+		res, err := e.Exploit(sys.Kernel, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Vulnerable {
+			t.Errorf("%s still exploitable after ApplyAll", e.CVE)
+		}
 	}
 }
