@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench check
+.PHONY: all build vet test race short bench check fuzz
+
+# Per-target budget for the fuzz smoke pass (see `fuzz` below).
+FUZZTIME ?= 30s
 
 all: check
 
@@ -24,5 +27,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short coverage-guided fuzzing pass over both fuzz targets, starting
+# from the committed seed corpora. CI runs this as a smoke test; bump
+# FUZZTIME for a real campaign.
+fuzz:
+	$(GO) test -fuzz=FuzzAsmDisasmRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/isa/
+	$(GO) test -fuzz=FuzzKSBTParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/smmpatch/
 
 check: build vet test

@@ -21,6 +21,7 @@ type applyConfig struct {
 	fetchWorkers int
 	maxRetries   int
 	backoff      time.Duration
+	syncFetch    bool
 }
 
 // WithBatchSize caps how many patches are delivered under one SMI
@@ -38,6 +39,12 @@ func WithMaxRetries(n int) ApplyOption { return func(c *applyConfig) { c.maxRetr
 // WithRetryBackoff sets the base real-time delay before the first
 // retry; it doubles per attempt (default pipeline.DefaultBackoff).
 func WithRetryBackoff(d time.Duration) ApplyOption { return func(c *applyConfig) { c.backoff = d } }
+
+// WithSyncFetch fetches each batch inline right before delivering it,
+// giving up fetch/delivery overlap so a seeded fault schedule replays
+// at identical call indices on every run. Chaos tests use this;
+// production runs should not.
+func WithSyncFetch() ApplyOption { return func(c *applyConfig) { c.syncFetch = true } }
 
 // BatchReport is the outcome of one ApplyAll run.
 type BatchReport struct {
@@ -104,6 +111,8 @@ func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOptio
 	for i := 0; i < poolSize; i++ {
 		if c, err := patchserver.Dial(s.serverAddr); err == nil {
 			if _, err := c.HelloWithAttestation(s.info, s.meas, s.attKey); err == nil {
+				c.SetFaultInjector(s.fi)
+				c.SetWallClock(s.wall)
 				dialed = append(dialed, c)
 				fetchers <- c
 				continue
@@ -127,6 +136,9 @@ func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOptio
 		MaxRetries: cfg.maxRetries,
 		Backoff:    cfg.backoff,
 		Retryable:  func(err error) bool { return errors.Is(err, smmpatch.ErrTargetActive) },
+		Clock:      s.wall,
+		FI:         s.fi,
+		SyncFetch:  cfg.syncFetch,
 	})
 
 	rep := &BatchReport{
@@ -225,7 +237,7 @@ func (b *batchBackend) DeliverBatch(ctx context.Context, members []*pipeline.Mem
 	if err != nil {
 		return err
 	}
-	out, err := s.enclave.ECall(sgxprep.FnPrepareBatch, args)
+	out, err := s.ecall(sgxprep.FnPrepareBatch, args)
 	if err != nil {
 		return fmt.Errorf("%w: batch: %w", ErrEnclavePrepare, err)
 	}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"sort"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/machine"
@@ -101,6 +102,12 @@ type System struct {
 	attKey     []byte
 
 	helperPriv mem.Priv
+
+	// fi is the fault injection set threaded through every layer (nil
+	// outside chaos testing); wall paces real-time waits (retry
+	// backoff, injected latency) and defaults to the system clock.
+	fi   *faultinject.Set
+	wall timing.WallClock
 }
 
 // NewSystem boots the target machine, locks down SMM, attests and
@@ -265,6 +272,62 @@ func NewSystem(opts Options) (*System, error) {
 	return s, nil
 }
 
+// SetFaultInjector threads a fault injection set through every layer
+// of the deployment — memory staging, SMI delivery, the batch handler,
+// the ECALL boundary, and the patch-server client — or removes it with
+// nil. The chaos suite installs a seeded set per run; production
+// deployments never call this.
+func (s *System) SetFaultInjector(fi *faultinject.Set) {
+	s.fi = fi
+	s.Machine.Mem.SetFaultInjector(fi)
+	s.SMM.SetFaultInjector(fi)
+	s.Handler.SetFaultInjector(fi)
+	s.platform.SetFaultInjector(fi)
+	s.client.SetFaultInjector(fi)
+}
+
+// SetWallClock replaces the clock pacing real-time waits (nil restores
+// real time). Tests inject timing.FakeWall so retry backoff and
+// injected latency never depend on the host clock.
+func (s *System) SetWallClock(wc timing.WallClock) {
+	s.wall = wc
+	s.client.SetWallClock(wc)
+}
+
+// ecall enters the preparation enclave, transparently recovering from
+// enclave loss: if the enclave was destroyed (crash, EPC loss), it is
+// reloaded, re-attested against the measurement registered with the
+// server, and the call retried once. The enclave holds no state the
+// reload cannot rebuild — sessions are re-derived per package from the
+// SMM public key passed in the arguments.
+func (s *System) ecall(fn int, args []byte) ([]byte, error) {
+	out, err := s.enclave.ECall(fn, args)
+	if err == nil || !errors.Is(err, sgx.ErrDestroyed) {
+		return out, err
+	}
+	if rerr := s.reloadEnclave(); rerr != nil {
+		return nil, fmt.Errorf("%w (reload failed: %w)", err, rerr)
+	}
+	return s.enclave.ECall(fn, args)
+}
+
+// reloadEnclave replaces a destroyed enclave with a fresh load of the
+// same program and verifies its measurement still matches what the
+// server attested at hello.
+func (s *System) reloadEnclave() error {
+	s.enclave.Destroy()
+	e, err := s.platform.Load(s.prog, sgxprep.EnclavePages)
+	if err != nil {
+		return fmt.Errorf("core: enclave reload: %w", err)
+	}
+	if e.Measurement() != s.meas {
+		e.Destroy()
+		return errors.New("core: reloaded enclave does not match attested measurement")
+	}
+	s.enclave = e
+	return nil
+}
+
 // Close releases the system's resources.
 func (s *System) Close() {
 	if s.enclave != nil {
@@ -324,7 +387,7 @@ func (s *System) applyPrepared(ctx context.Context, cve string, blob []byte, st 
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.enclave.ECall(sgxprep.FnPrepare, args)
+	out, err := s.ecall(sgxprep.FnPrepare, args)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %w", ErrEnclavePrepare, cve, err)
 	}
@@ -354,7 +417,7 @@ func (s *System) Rollback(ctx context.Context, cve string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.enclave.ECall(sgxprep.FnPrepareRollback, args)
+	out, err := s.ecall(sgxprep.FnPrepareRollback, args)
 	if err != nil {
 		return nil, fmt.Errorf("%w: rollback %s: %w", ErrEnclavePrepare, cve, err)
 	}

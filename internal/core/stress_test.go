@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestApplyAllRandomizedWaveOrder delivers the conflict-free CVE set
+// in seeded-random waves — shuffled order, random split points, random
+// batch sizes and fetch-worker counts — and requires the end state to
+// be identical every time: all exploits neutralized, the journal LIFO
+// rollbackable, and the system reusable afterwards. Run under -race
+// this doubles as a concurrency stress on the pipelined fetch path.
+func TestApplyAllRandomizedWaveOrder(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			d := newDeployment(t, "4.4", 0, batchCVEs...)
+
+			order := append([]string(nil), batchCVEs...)
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			// Split into 1–3 waves at random boundaries.
+			var waves [][]string
+			for rest := order; len(rest) > 0; {
+				n := 1 + rng.Intn(len(rest))
+				waves = append(waves, rest[:n])
+				rest = rest[n:]
+			}
+
+			for wi, wave := range waves {
+				rep, err := d.System.ApplyAll(context.Background(), wave,
+					WithBatchSize(1+rng.Intn(8)),
+					WithFetchWorkers(1+rng.Intn(3)))
+				if err != nil {
+					t.Fatalf("wave %d %v: %v", wi, wave, err)
+				}
+				if len(rep.Failed) > 0 {
+					t.Fatalf("wave %d failures: %v", wi, rep.Failed)
+				}
+			}
+
+			applied := d.System.Applied()
+			if len(applied) != len(batchCVEs) {
+				t.Fatalf("Applied() = %v", applied)
+			}
+			for _, e := range d.Entries {
+				res, err := e.Exploit(d.System.Kernel, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Vulnerable {
+					t.Errorf("%s still vulnerable after waves %v", e.CVE, waves)
+				}
+			}
+
+			// Whatever the wave order, the journal rolls back LIFO and
+			// leaves a clean, reusable system.
+			for i := len(applied) - 1; i >= 0; i-- {
+				if _, err := d.System.Rollback(context.Background(), applied[i]); err != nil {
+					t.Fatalf("rollback %s: %v", applied[i], err)
+				}
+			}
+			if got := d.System.Applied(); len(got) != 0 {
+				t.Fatalf("Applied() after rollback = %v", got)
+			}
+			if rep, err := d.System.ApplyAll(context.Background(), batchCVEs); err != nil || len(rep.Failed) > 0 {
+				t.Fatalf("re-ApplyAll after stress: %v, failed %v", err, rep.Failed)
+			}
+		})
+	}
+}

@@ -1,0 +1,382 @@
+// Package faultinject is KShot's deterministic, seed-driven fault
+// injection layer. Named injection points are threaded through the
+// layers that carry the security argument — physical memory staging,
+// SMI delivery, the SGX enclave boundary, the patch-server transport,
+// and the batch pipeline — and each point consults an installed Set on
+// every pass. A Set is driven by a Plan: a pure function of (seed,
+// point) to a fault schedule, so any failure the chaos suite finds is
+// replayable from its seed alone.
+//
+// When no Set is installed the hooks are nil-receiver no-ops: a nil
+// *Set is a valid, permanently-quiet injector, so production paths pay
+// one predictable branch and nothing else.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point names one injection site. The dotted prefix is the package the
+// hook lives in.
+type Point string
+
+// The injection points wired through the simulator.
+const (
+	// MemWCorrupt flips one bit of a helper write into the mem_W
+	// staging region (a corrupted hand-off buffer).
+	MemWCorrupt Point = "mem.w.corrupt"
+	// MemWFault rejects a helper write into mem_W with an access
+	// fault (staging denied mid-run).
+	MemWFault Point = "mem.w.fault"
+
+	// SMMRefuse makes the controller refuse to deliver an SMI before
+	// pausing the machine (chipset drops the interrupt).
+	SMMRefuse Point = "smm.refuse"
+	// SMMBatchAbort aborts the batch handler between members: the
+	// remaining members report errors but the SMI completes.
+	SMMBatchAbort Point = "smm.batch.abort"
+
+	// SGXECallFail fails an ECALL at the enclave boundary.
+	SGXECallFail Point = "sgx.ecall.fail"
+	// SGXDestroy destroys the enclave at an ECALL boundary (EPC loss,
+	// enclave crash), surfacing sgx.ErrDestroyed to the caller.
+	SGXDestroy Point = "sgx.destroy"
+
+	// FetchError fails one patch fetch result.
+	FetchError Point = "patchserver.fetch.error"
+	// FetchTruncate truncates one fetched patch body.
+	FetchTruncate Point = "patchserver.fetch.truncate"
+	// FetchDelay injects extra latency into a fetch call (an induced
+	// timeout when the caller's context expires first).
+	FetchDelay Point = "patchserver.fetch.delay"
+
+	// PipelineStall stalls a fetch worker before it issues its call.
+	PipelineStall Point = "pipeline.stall"
+	// PipelineCancel cancels the pipeline's context at a stage
+	// boundary.
+	PipelineCancel Point = "pipeline.cancel"
+)
+
+// Points returns every injection point, in stable order.
+func Points() []Point {
+	return []Point{
+		MemWCorrupt, MemWFault,
+		SMMRefuse, SMMBatchAbort,
+		SGXECallFail, SGXDestroy,
+		FetchError, FetchTruncate, FetchDelay,
+		PipelineStall, PipelineCancel,
+	}
+}
+
+// ErrInjected is the sentinel all injected errors unwrap to, so tests
+// and retry classifiers can tell induced failures from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injected is the error an Error-kind hook returns. It unwraps to
+// ErrInjected.
+type Injected struct {
+	Point Point
+	Call  int
+}
+
+// Error implements the error interface.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s (call %d)", e.Point, e.Call)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *Injected) Unwrap() error { return ErrInjected }
+
+// Fault is one scheduled injection: fire at the point's Call-th pass
+// (0-based). The remaining fields parameterize point-specific effects
+// and are ignored by points that do not use them.
+type Fault struct {
+	Point Point
+	Call  int
+
+	// Bit selects which bit a corruption flips (taken modulo the
+	// buffer length at the hook site).
+	Bit uint
+	// Frac is the fraction of a body a truncation keeps, in [0,1).
+	Frac float64
+	// Delay is the extra latency a delay/stall point injects.
+	Delay time.Duration
+}
+
+// FlipBit applies the fault's corruption effect: it flips the planned
+// bit of buf in place (modulo the buffer length).
+func (f Fault) FlipBit(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	bit := f.Bit % uint(len(buf)*8)
+	buf[bit/8] ^= 1 << (bit % 8)
+}
+
+// PlanConfig tunes schedule generation. The zero value gets defaults
+// suitable for the chaos suite.
+type PlanConfig struct {
+	// Points lists the points to arm; nil arms all of them.
+	Points []Point
+	// Prob is the per-call fire probability while the point still has
+	// budget (default 0.3).
+	Prob float64
+	// MaxPerPoint bounds how many times one point fires (default 2),
+	// so schedules model transient faults the system should absorb
+	// rather than a permanently broken component.
+	MaxPerPoint int
+	// Horizon is how many call indices per point are considered
+	// (default 24).
+	Horizon int
+	// MaxDelay bounds injected delays (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.Points == nil {
+		c.Points = Points()
+	}
+	if c.Prob <= 0 {
+		c.Prob = 0.3
+	}
+	if c.MaxPerPoint <= 0 {
+		c.MaxPerPoint = 2
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 24
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Plan maps each armed point to its fault schedule. A Plan is a pure
+// function of (seed, config): building it twice yields identical
+// schedules, which is what makes every chaos failure replayable.
+type Plan struct {
+	Seed     int64
+	schedule map[Point][]Fault
+}
+
+// NewPlan derives a schedule for every armed point from seed. Each
+// point gets its own PRNG stream seeded by hash(seed, point), so one
+// point's schedule never depends on which other points are armed.
+func NewPlan(seed int64, cfg PlanConfig) *Plan {
+	cfg = cfg.withDefaults()
+	p := &Plan{Seed: seed, schedule: make(map[Point][]Fault, len(cfg.Points))}
+	for _, pt := range cfg.Points {
+		rng := rand.New(rand.NewSource(pointSeed(seed, pt)))
+		var faults []Fault
+		for call := 0; call < cfg.Horizon && len(faults) < cfg.MaxPerPoint; call++ {
+			if rng.Float64() >= cfg.Prob {
+				continue
+			}
+			faults = append(faults, Fault{
+				Point: pt,
+				Call:  call,
+				Bit:   uint(rng.Intn(1 << 16)),
+				Frac:  rng.Float64() * 0.9,
+				Delay: time.Duration(1 + rng.Int63n(int64(cfg.MaxDelay))),
+			})
+		}
+		if len(faults) > 0 {
+			p.schedule[pt] = faults
+		}
+	}
+	return p
+}
+
+// Exact builds a plan firing precisely the given faults — the
+// targeted-injection entry point for per-package unit tests.
+func Exact(faults ...Fault) *Plan {
+	p := &Plan{Seed: -1, schedule: make(map[Point][]Fault)}
+	for _, f := range faults {
+		p.schedule[f.Point] = append(p.schedule[f.Point], f)
+	}
+	for pt := range p.schedule {
+		s := p.schedule[pt]
+		sort.Slice(s, func(i, j int) bool { return s[i].Call < s[j].Call })
+	}
+	return p
+}
+
+// Scheduled returns the plan's fault list for a point (in call order).
+func (p *Plan) Scheduled(pt Point) []Fault {
+	return append([]Fault(nil), p.schedule[pt]...)
+}
+
+// Faults returns every scheduled fault, ordered by point then call.
+func (p *Plan) Faults() []Fault {
+	var out []Fault
+	for _, pt := range Points() {
+		out = append(out, p.schedule[pt]...)
+	}
+	return out
+}
+
+// pointSeed mixes the plan seed with the point name so every point
+// draws from an independent deterministic stream.
+func pointSeed(seed int64, pt Point) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s", seed, pt)
+	return int64(h.Sum64())
+}
+
+// Set is the runtime injector the hooks consult. It tracks a call
+// counter per point and fires the planned fault when the counter hits
+// a scheduled index, recording everything it fired. All methods are
+// safe on a nil receiver (permanently disabled) and for concurrent
+// use.
+type Set struct {
+	mu    sync.Mutex
+	plan  *Plan
+	calls map[Point]int
+	fired map[Point][]Fault
+}
+
+// New builds a Set driven by plan (nil plan means never fire).
+func New(plan *Plan) *Set {
+	return &Set{
+		plan:  plan,
+		calls: make(map[Point]int),
+		fired: make(map[Point][]Fault),
+	}
+}
+
+// fire advances the point's call counter and returns the scheduled
+// fault if this pass is one.
+func (s *Set) fire(pt Point) (Fault, bool) {
+	if s == nil || s.plan == nil {
+		return Fault{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.calls[pt]
+	s.calls[pt] = n + 1
+	for _, f := range s.plan.schedule[pt] {
+		if f.Call == n {
+			s.fired[pt] = append(s.fired[pt], f)
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Fire reports whether the point's fault fires on this pass — the hook
+// form for effects the call site realizes itself (refusal, abort,
+// cancellation, destruction).
+func (s *Set) Fire(pt Point) bool {
+	_, ok := s.fire(pt)
+	return ok
+}
+
+// Take advances the point and returns the fired fault, for hooks that
+// apply a parameterized effect themselves.
+func (s *Set) Take(pt Point) (Fault, bool) { return s.fire(pt) }
+
+// Error returns an *Injected error when the point fires, nil
+// otherwise.
+func (s *Set) Error(pt Point) error {
+	f, ok := s.fire(pt)
+	if !ok {
+		return nil
+	}
+	return &Injected{Point: pt, Call: f.Call}
+}
+
+// Corrupt flips one planned bit of buf in place when the point fires,
+// reporting whether it did. Empty buffers never fire.
+func (s *Set) Corrupt(pt Point, buf []byte) bool {
+	if s == nil || len(buf) == 0 {
+		return false
+	}
+	f, ok := s.fire(pt)
+	if !ok {
+		return false
+	}
+	f.FlipBit(buf)
+	return true
+}
+
+// Truncate returns the length to keep of an n-byte body when the
+// point fires.
+func (s *Set) Truncate(pt Point, n int) (int, bool) {
+	f, ok := s.fire(pt)
+	if !ok {
+		return n, false
+	}
+	keep := int(float64(n) * f.Frac)
+	if keep >= n {
+		keep = n - 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	return keep, true
+}
+
+// Delay returns the planned extra latency when the point fires.
+func (s *Set) Delay(pt Point) (time.Duration, bool) {
+	f, ok := s.fire(pt)
+	if !ok {
+		return 0, false
+	}
+	return f.Delay, true
+}
+
+// Calls returns how many times the point has been consulted.
+func (s *Set) Calls(pt Point) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[pt]
+}
+
+// Fired returns how many faults actually fired across all points.
+func (s *Set) Fired() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, fs := range s.fired {
+		n += len(fs)
+	}
+	return n
+}
+
+// Log returns every fault that fired, ordered by point then call —
+// the determinism witness the chaos suite compares across runs.
+func (s *Set) Log() []Fault {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Fault
+	for _, pt := range Points() {
+		out = append(out, s.fired[pt]...)
+	}
+	return out
+}
+
+// Reset clears call counters and the fired log, rearming the plan.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls = make(map[Point]int)
+	s.fired = make(map[Point][]Fault)
+}

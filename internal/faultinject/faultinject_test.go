@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Identical seeds must derive identical schedules, and a point's
+// schedule must not depend on which other points are armed.
+func TestPlanDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := NewPlan(seed, PlanConfig{})
+		b := NewPlan(seed, PlanConfig{})
+		if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+			t.Fatalf("seed %d: plans differ", seed)
+		}
+		solo := NewPlan(seed, PlanConfig{Points: []Point{SMMRefuse}})
+		if !reflect.DeepEqual(solo.Scheduled(SMMRefuse), a.Scheduled(SMMRefuse)) {
+			t.Fatalf("seed %d: %s schedule depends on other armed points", seed, SMMRefuse)
+		}
+	}
+}
+
+func TestPlanDiffersAcrossSeeds(t *testing.T) {
+	a := NewPlan(1, PlanConfig{})
+	b := NewPlan(2, PlanConfig{})
+	if reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Fatalf("seeds 1 and 2 produced identical plans")
+	}
+}
+
+func TestPlanRespectsBudget(t *testing.T) {
+	cfg := PlanConfig{Prob: 1.0, MaxPerPoint: 3, Horizon: 10}
+	p := NewPlan(7, cfg)
+	for _, pt := range Points() {
+		s := p.Scheduled(pt)
+		if len(s) != 3 {
+			t.Fatalf("%s: got %d faults, want 3", pt, len(s))
+		}
+		for i, f := range s {
+			if f.Call != i {
+				t.Fatalf("%s: prob 1 should fire on consecutive calls, got %+v", pt, s)
+			}
+		}
+	}
+}
+
+func TestNilSetIsQuiet(t *testing.T) {
+	var s *Set
+	if s.Fire(SMMRefuse) {
+		t.Fatal("nil set fired")
+	}
+	if err := s.Error(SGXECallFail); err != nil {
+		t.Fatalf("nil set returned error %v", err)
+	}
+	buf := []byte{0xAA}
+	if s.Corrupt(MemWCorrupt, buf) || buf[0] != 0xAA {
+		t.Fatal("nil set corrupted a buffer")
+	}
+	if n, ok := s.Truncate(FetchTruncate, 10); ok || n != 10 {
+		t.Fatalf("nil set truncated: n=%d ok=%v", n, ok)
+	}
+	if _, ok := s.Delay(FetchDelay); ok {
+		t.Fatal("nil set delayed")
+	}
+	if s.Calls(SMMRefuse) != 0 || s.Fired() != 0 || s.Log() != nil {
+		t.Fatal("nil set has state")
+	}
+	s.Reset() // must not panic
+}
+
+func TestExactFiresOnScheduledCalls(t *testing.T) {
+	s := New(Exact(
+		Fault{Point: SMMRefuse, Call: 1},
+		Fault{Point: SMMRefuse, Call: 3},
+	))
+	var fired []bool
+	for i := 0; i < 5; i++ {
+		fired = append(fired, s.Fire(SMMRefuse))
+	}
+	want := []bool{false, true, false, true, false}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if s.Calls(SMMRefuse) != 5 {
+		t.Fatalf("calls = %d, want 5", s.Calls(SMMRefuse))
+	}
+	if s.Fired() != 2 {
+		t.Fatalf("fired count = %d, want 2", s.Fired())
+	}
+}
+
+func TestErrorUnwrapsToSentinel(t *testing.T) {
+	s := New(Exact(Fault{Point: SGXECallFail, Call: 0}))
+	err := s.Error(SGXECallFail)
+	if err == nil {
+		t.Fatal("expected injected error")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v does not unwrap to ErrInjected", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != SGXECallFail {
+		t.Fatalf("error %v is not an *Injected for %s", err, SGXECallFail)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	s := New(Exact(Fault{Point: MemWCorrupt, Call: 0, Bit: 13}))
+	orig := bytes.Repeat([]byte{0x5A}, 8)
+	buf := append([]byte(nil), orig...)
+	if !s.Corrupt(MemWCorrupt, buf) {
+		t.Fatal("corrupt did not fire")
+	}
+	diffBits := 0
+	for i := range buf {
+		for b := 0; b < 8; b++ {
+			if (buf[i]^orig[i])&(1<<b) != 0 {
+				diffBits++
+			}
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corrupt flipped %d bits, want 1", diffBits)
+	}
+}
+
+func TestTruncateShortens(t *testing.T) {
+	s := New(Exact(Fault{Point: FetchTruncate, Call: 0, Frac: 0.5}))
+	n, ok := s.Truncate(FetchTruncate, 100)
+	if !ok || n != 50 {
+		t.Fatalf("truncate = (%d,%v), want (50,true)", n, ok)
+	}
+	// Frac rounding can never keep the whole body.
+	s = New(Exact(Fault{Point: FetchTruncate, Call: 0, Frac: 0.999}))
+	if n, ok := s.Truncate(FetchTruncate, 1); !ok || n != 0 {
+		t.Fatalf("truncate(1) = (%d,%v), want (0,true)", n, ok)
+	}
+}
+
+func TestDelayReturnsPlannedDuration(t *testing.T) {
+	s := New(Exact(Fault{Point: FetchDelay, Call: 0, Delay: 42 * time.Microsecond}))
+	d, ok := s.Delay(FetchDelay)
+	if !ok || d != 42*time.Microsecond {
+		t.Fatalf("delay = (%v,%v), want (42µs,true)", d, ok)
+	}
+}
+
+func TestResetRearms(t *testing.T) {
+	s := New(Exact(Fault{Point: SMMRefuse, Call: 0}))
+	if !s.Fire(SMMRefuse) {
+		t.Fatal("first pass should fire")
+	}
+	if s.Fire(SMMRefuse) {
+		t.Fatal("second pass should not fire")
+	}
+	s.Reset()
+	if !s.Fire(SMMRefuse) {
+		t.Fatal("reset should rearm call 0")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired after reset = %d, want 1", s.Fired())
+	}
+}
+
+// Two Sets driven by the same plan and consulted in the same order
+// must fire identically and record identical logs.
+func TestSetLogDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		plan := NewPlan(seed, PlanConfig{Prob: 0.5})
+		run := func() []Fault {
+			s := New(plan)
+			for i := 0; i < 30; i++ {
+				for _, pt := range Points() {
+					s.fire(pt)
+				}
+			}
+			return s.Log()
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: logs differ:\n%v\n%v", seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAsmDisasmRoundTrip feeds arbitrary byte streams to the
+// disassembler. The contract under fuzzing:
+//
+//   - Disassemble never panics, whatever the input;
+//   - a rejected stream is simply rejected (corruption detection is
+//     the point of linear disassembly in the introspection checks);
+//   - an accepted stream re-encodes byte-for-byte: Encode(Decode(b))
+//     == b for every instruction, so the assembler and disassembler
+//     agree on one canonical encoding per instruction.
+func FuzzAsmDisasmRoundTrip(f *testing.F) {
+	f.Add([]byte{byte(OpNop)})
+	f.Add([]byte{0xFF, 0x00, 0x12}) // invalid opcode
+	f.Add(EncodeJmpRel32(-5))       // tight self-loop trampoline
+	f.Add(MustEncode(
+		Inst{Op: OpMovi, Dst: 1, Imm: 0x1234_5678_9abc},
+		Inst{Op: OpAdd, Dst: 1, Src: 2},
+		Inst{Op: OpCmpi, Dst: 1, Imm: -7},
+		Inst{Op: OpJnz, Imm: -19},
+		Inst{Op: OpRet},
+	))
+	f.Add(MustEncode(
+		Inst{Op: OpLoadg, Dst: 0, Imm: 0x8000},
+		Inst{Op: OpStore, Dst: 2, Src: 3, Imm: 16},
+		Inst{Op: OpTrap, Imm: 255},
+	))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const base = 0x40_0000
+		decoded, err := Disassemble(data, base)
+		if err != nil {
+			return
+		}
+		var out []byte
+		addr := uint64(base)
+		for _, d := range decoded {
+			if d.Addr != addr {
+				t.Fatalf("instruction at %#x, want %#x (stream must be gapless)", d.Addr, addr)
+			}
+			if d.Len != d.Inst.Op.Length() {
+				t.Fatalf("%s decoded with length %d, opcode table says %d",
+					d.Inst.Op.Mnemonic(), d.Len, d.Inst.Op.Length())
+			}
+			out, err = Encode(out, d.Inst)
+			if err != nil {
+				t.Fatalf("decoded instruction %+v rejected by Encode: %v", d.Inst, err)
+			}
+			addr += uint64(d.Len)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"kshot/internal/faultinject"
 )
 
 // Priv is the privilege level performing an access. It mirrors the four
@@ -193,6 +195,11 @@ type Physical struct {
 	mu      sync.RWMutex
 	data    []byte
 	regions []*Region // sorted by Base, non-overlapping
+
+	// fi, when non-nil, injects faults into non-SMM writes to the
+	// mem_W staging region (bit flips, access faults) for the chaos
+	// suite. Nil in production paths.
+	fi *faultinject.Set
 }
 
 // New creates a physical memory of the given size with no mapped
@@ -279,6 +286,14 @@ func (m *Physical) SetPerms(name string, ps Perms) error {
 	return fmt.Errorf("set perms %q: no such region", name)
 }
 
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted on helper writes into mem_W.
+func (m *Physical) SetFaultInjector(fi *faultinject.Set) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fi = fi
+}
+
 // regionAt returns the region containing addr. Caller must hold mu.
 func (m *Physical) regionAt(addr uint64) *Region {
 	// Binary search over sorted, non-overlapping regions.
@@ -335,6 +350,22 @@ func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) 
 			return &Fault{Priv: priv, Access: kind, Addr: cur, Region: r.Name}
 		}
 		cur = r.End()
+	}
+
+	// Fault injection: the helper's deposits into the mem_W staging
+	// region are the hand-off buffer KShot must survive losing. SMM's
+	// own accesses are exempt — the handler is trusted firmware.
+	if src != nil && priv != PrivSMM && m.fi != nil {
+		if r := m.regionAt(addr); r != nil && r.Name == RegionMemW {
+			if m.fi.Fire(faultinject.MemWFault) {
+				return &Fault{Priv: priv, Access: kind, Addr: addr, Region: r.Name}
+			}
+			if f, ok := m.fi.Take(faultinject.MemWCorrupt); ok {
+				corrupted := append([]byte(nil), src...)
+				f.FlipBit(corrupted)
+				src = corrupted
+			}
+		}
 	}
 
 	if dst != nil {

@@ -24,11 +24,13 @@ import (
 	"sync"
 	"time"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/patch"
 	"kshot/internal/sgx"
 	"kshot/internal/sgxprep"
+	"kshot/internal/timing"
 )
 
 // OSInfo is what the target machine reports about itself — enough for
@@ -371,6 +373,12 @@ type Client struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	mu   sync.Mutex
+
+	// fi injects per-fetch failures (errors, truncated bodies, extra
+	// latency) for the chaos suite; wall paces injected latency so
+	// fakes keep the suite off the host clock. Guarded by mu.
+	fi   *faultinject.Set
+	wall timing.WallClock
 }
 
 // Dial connects to the server.
@@ -384,6 +392,32 @@ func Dial(addr string) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted on every fetch result.
+func (c *Client) SetFaultInjector(fi *faultinject.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fi = fi
+}
+
+// SetWallClock replaces the clock that paces injected fetch latency
+// (real time when nil).
+func (c *Client) SetWallClock(wc timing.WallClock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wall = wc
+}
+
+func (c *Client) hooks() (*faultinject.Set, timing.WallClock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wall := c.wall
+	if wall == nil {
+		wall = timing.Real()
+	}
+	return c.fi, wall
+}
 
 func (c *Client) roundTrip(req *request) (*response, error) {
 	resps, err := c.roundTrips(context.Background(), []*request{req})
@@ -494,6 +528,7 @@ func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult
 	for i, cve := range cves {
 		reqs[i] = &request{Kind: kindPatch, CVE: cve}
 	}
+	fi, wall := c.hooks()
 	resps, err := c.roundTrips(ctx, reqs)
 	if err != nil {
 		return nil, err
@@ -501,11 +536,27 @@ func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult
 	out := make([]FetchResult, len(cves))
 	for i, resp := range resps {
 		out[i].CVE = cves[i]
+		// Injected transport failures, applied per result: extra
+		// latency (an induced timeout when ctx expires first), a
+		// failed fetch, or a truncated body the enclave must reject.
+		if d, ok := fi.Delay(faultinject.FetchDelay); ok {
+			if !wall.Sleep(ctx, d) {
+				return nil, ctx.Err()
+			}
+		}
+		if err := fi.Error(faultinject.FetchError); err != nil {
+			out[i].Err = fmt.Errorf("patchserver: %s: %w", cves[i], err)
+			continue
+		}
 		if resp.Err != "" {
 			out[i].Err = errors.New("patchserver: " + resp.Err)
 			continue
 		}
-		out[i].Blob = resp.Blob
+		blob := resp.Blob
+		if n, ok := fi.Truncate(faultinject.FetchTruncate, len(blob)); ok {
+			blob = blob[:n]
+		}
+		out[i].Blob = blob
 	}
 	return out, nil
 }

@@ -1,8 +1,8 @@
 package patchserver
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"strings"

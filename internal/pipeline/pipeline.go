@@ -32,6 +32,7 @@ import (
 	"context"
 	"time"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/timing"
 )
 
@@ -64,6 +65,24 @@ type Config struct {
 	// (e.g. the activeness check refusing a live target). Nil means
 	// nothing is retryable.
 	Retryable func(error) bool
+
+	// Clock paces retry backoff and injected stalls. Nil means real
+	// time; tests inject timing.FakeWall so runs never depend on the
+	// host clock.
+	Clock timing.WallClock
+
+	// FI, when non-nil, injects faults at the pipeline's own seams:
+	// worker stalls before fetches and context cancellation at stage
+	// boundaries.
+	FI *faultinject.Set
+
+	// SyncFetch runs each batch's fetch inline, immediately before its
+	// delivery, instead of overlapping fetches with earlier deliveries.
+	// The wall-clock pipelining win is deliberately given up: with a
+	// single goroutine touching every injection point, a seeded fault
+	// schedule interleaves at identical call indices on every run,
+	// which is what replayable chaos testing needs.
+	SyncFetch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retryable == nil {
 		c.Retryable = func(error) bool { return false }
+	}
+	if c.Clock == nil {
+		c.Clock = timing.Real()
 	}
 	return c
 }
@@ -165,6 +187,17 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 		return res, nil
 	}
 
+	// Injected cancellation wraps the caller's context so a planned
+	// fault at any stage boundary exercises the same cleanup paths a
+	// real caller-side cancellation would.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	boundary := func() {
+		if cfg.FI.Fire(faultinject.PipelineCancel) {
+			cancel()
+		}
+	}
+
 	var batches [][]*Member
 	for i := 0; i < len(members); i += cfg.BatchSize {
 		end := i + cfg.BatchSize
@@ -181,47 +214,67 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 		fetched []Fetched
 		err     error
 	}
-	outs := make([]chan fetchOut, len(batches))
-	for i := range outs {
-		outs[i] = make(chan fetchOut, 1)
+	fetchBatch := func(i int) fetchOut {
+		// Injected worker stall: the fetch worker wedges for a while
+		// before issuing its call (a slow or contended helper thread).
+		if d, ok := cfg.FI.Delay(faultinject.PipelineStall); ok {
+			cfg.Clock.Sleep(ctx, d)
+		}
+		ids := make([]string, len(batches[i]))
+		for j, m := range batches[i] {
+			ids[j] = m.CVE
+		}
+		f, err := b.FetchMany(ctx, ids)
+		return fetchOut{f, err}
 	}
-	idxCh := make(chan int)
-	workers := cfg.Workers
-	if workers > len(batches) {
-		workers = len(batches)
-	}
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range idxCh {
-				ids := make([]string, len(batches[i]))
-				for j, m := range batches[i] {
-					ids[j] = m.CVE
+	var outs []chan fetchOut
+	if !cfg.SyncFetch {
+		outs = make([]chan fetchOut, len(batches))
+		for i := range outs {
+			outs[i] = make(chan fetchOut, 1)
+		}
+		idxCh := make(chan int)
+		workers := cfg.Workers
+		if workers > len(batches) {
+			workers = len(batches)
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idxCh {
+					outs[i] <- fetchBatch(i)
 				}
-				f, err := b.FetchMany(ctx, ids)
-				outs[i] <- fetchOut{f, err}
+			}()
+		}
+		go func() {
+			defer close(idxCh)
+			for i := range batches {
+				select {
+				case idxCh <- i:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
-	go func() {
-		defer close(idxCh)
-		for i := range batches {
-			select {
-			case idxCh <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
 
 	// Delivery: strictly in request order (the enclave prepares each
 	// batch at the cursor the previous batch left behind).
 	for i, batch := range batches {
+		boundary() // fetch → delivery hand-off
 		var fo fetchOut
-		select {
-		case fo = <-outs[i]:
-		case <-ctx.Done():
-			markUnprocessed(batches[i:], ctx.Err())
-			return res, ctx.Err()
+		if cfg.SyncFetch {
+			if err := ctx.Err(); err != nil {
+				markUnprocessed(batches[i:], err)
+				return res, err
+			}
+			fo = fetchBatch(i)
+		} else {
+			select {
+			case fo = <-outs[i]:
+			case <-ctx.Done():
+				markUnprocessed(batches[i:], ctx.Err())
+				return res, ctx.Err()
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			markUnprocessed(batches[i:], err)
@@ -252,6 +305,7 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 		if len(deliverable) == 0 {
 			continue
 		}
+		boundary() // pre-delivery
 
 		if len(deliverable) == 1 {
 			m := deliverable[0]
@@ -275,6 +329,8 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 				}
 			}
 		}
+
+		boundary() // post-delivery, pre-retry
 
 		// Per-member outcomes: retry refused members alone; give batch
 		// verification failures one per-patch attempt of their own.
@@ -314,7 +370,10 @@ func deliverFallback(ctx context.Context, b Backend, m *Member, res *Result) {
 func retryMember(ctx context.Context, b Backend, m *Member, cfg Config, res *Result) {
 	backoff := cfg.Backoff
 	for attempt := 0; attempt < cfg.MaxRetries && m.Err != nil && cfg.Retryable(m.Err); attempt++ {
-		if !sleepCtx(ctx, backoff) {
+		// The backoff sleep honors cancellation: a cancelled context
+		// interrupts the wait immediately instead of letting a long
+		// backoff pin the run.
+		if !cfg.Clock.Sleep(ctx, backoff) {
 			m.Err = ctx.Err()
 			return
 		}
@@ -323,21 +382,6 @@ func retryMember(ctx context.Context, b Backend, m *Member, cfg Config, res *Res
 		m.Err = b.DeliverOne(ctx, m)
 		res.Singles++
 		res.Retries++
-	}
-}
-
-// sleepCtx sleeps for d unless ctx fires first.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	if d <= 0 {
-		return ctx.Err() == nil
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-ctx.Done():
-		return false
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/mem"
 )
 
@@ -64,6 +65,7 @@ type Platform struct {
 	nextID uint64
 	// freePages is a simple page bitmap; enclaves are small and few.
 	used []bool
+	fi   *faultinject.Set
 }
 
 // NewPlatform maps an EPC of the given size at base. EPC pages are
@@ -82,6 +84,21 @@ func NewPlatform(phys *mem.Physical, base, size uint64) (*Platform, error) {
 		size: size,
 		used: make([]bool, size/PageSize),
 	}, nil
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted at the ECALL boundary of every enclave on
+// this platform.
+func (p *Platform) SetFaultInjector(fi *faultinject.Set) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fi = fi
+}
+
+func (p *Platform) injector() *faultinject.Set {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fi
 }
 
 // Load creates an enclave with npages EPC pages, loads prog, computes
@@ -199,6 +216,17 @@ func (e *Enclave) ECall(fn int, args []byte) ([]byte, error) {
 		return nil, ErrDestroyed
 	}
 	e.mu.Unlock()
+	// Fault injection at the trust boundary: an enclave loss (EPC
+	// power event, enclave crash) surfaces as ErrDestroyed so callers
+	// exercise their reload path; an ECALL failure is a plain error.
+	fi := e.plat.injector()
+	if fi.Fire(faultinject.SGXDestroy) {
+		e.Destroy()
+		return nil, ErrDestroyed
+	}
+	if err := fi.Error(faultinject.SGXECallFail); err != nil {
+		return nil, fmt.Errorf("sgx: ecall %d: %w", fn, err)
+	}
 	in := append([]byte(nil), args...)
 	return e.prog.ECall(e.env(), fn, in)
 }

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/isa"
 	"kshot/internal/machine"
 	"kshot/internal/mem"
@@ -84,6 +85,7 @@ type Controller struct {
 	mu       sync.Mutex
 	locked   bool
 	handlers map[Command]Handler
+	fi       *faultinject.Set
 
 	entries uint64        // SMIs dispatched
 	pause   time.Duration // total virtual OS-pause across all SMIs
@@ -183,6 +185,14 @@ func (c *Controller) HeapBase() uint64 { return c.base + heapOffset }
 // HeapSize returns the heap length in bytes.
 func (c *Controller) HeapSize() uint64 { return c.size - heapOffset }
 
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted on SMI delivery.
+func (c *Controller) SetFaultInjector(fi *faultinject.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fi = fi
+}
+
 // Trigger raises an SMI with the given command and argument: the
 // machine pauses, all vCPU states are saved into the SMRAM save area,
 // the handler runs, states are restored from SMRAM, and the machine
@@ -191,7 +201,15 @@ func (c *Controller) HeapSize() uint64 { return c.size - heapOffset }
 func (c *Controller) Trigger(cmd Command, arg uint64) error {
 	c.mu.Lock()
 	h, ok := c.handlers[cmd]
+	fi := c.fi
 	c.mu.Unlock()
+
+	// Injected delivery refusal: the chipset drops the SMI before any
+	// world switch, so no state is saved and nothing pauses — the
+	// failure mode of a hostile platform suppressing patching.
+	if err := fi.Error(faultinject.SMMRefuse); err != nil {
+		return fmt.Errorf("smm: SMI %#02x refused: %w", uint8(cmd), err)
+	}
 
 	c.machine.Pause()
 	defer c.machine.Resume()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
 	"kshot/internal/mem"
 	"kshot/internal/patch"
@@ -85,6 +86,18 @@ func (h *Handler) handleBatch(ctx *smm.Context, _ uint64) error {
 	bds := make([]Breakdown, len(members))
 	applied := 0
 	for i, m := range members {
+		// Injected mid-batch abort: the handler stops between members
+		// (a watchdog or internal failure cutting the SMI short). The
+		// members already applied stay applied — each apply is
+		// individually transactional — and the remainder report
+		// errors through the normal mailbox so the helper can retry
+		// them per-patch.
+		if h.fi.Fire(faultinject.SMMBatchAbort) {
+			for j := i; j < len(members); j++ {
+				codes[j] = StatusError
+			}
+			break
+		}
 		bd := Breakdown{KeyGen: keyGenShare}
 		codes[i] = h.processBatchMember(ctx, kp, m, &bd)
 		if codes[i] == StatusPatched {
@@ -137,8 +150,21 @@ func (h *Handler) processBatchMember(ctx *smm.Context, kp *kcrypto.KeyPair, m Ba
 func (h *Handler) readBatchDir(ctx *smm.Context) ([]BatchMember, error) {
 	base := h.res.WBase() + offPackage
 	limit := h.res.WBase() + h.res.W.Size
+	return parseBatchDir(ctx.Read, base, limit)
+}
+
+// parseBatchDir walks a KSBT staging directory through the given
+// privileged reader, bounds-checking every length against [base,
+// limit). The directory came from the untrusted helper, so a
+// structurally invalid one must fail with ErrBadBatch and can never
+// read outside the window or panic — the property FuzzKSBTParse
+// exercises.
+func parseBatchDir(read func(addr uint64, dst []byte) error, base, limit uint64) ([]BatchMember, error) {
 	var hdr [8]byte
-	if err := ctx.Read(base, hdr[:]); err != nil {
+	if base+8 > limit {
+		return nil, fmt.Errorf("%w: window too small", ErrBadBatch)
+	}
+	if err := read(base, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadBatch, err)
 	}
 	if string(hdr[:4]) != batchMagic {
@@ -151,18 +177,18 @@ func (h *Handler) readBatchDir(ctx *smm.Context) ([]BatchMember, error) {
 	off := base + 8
 	readBlob := func() ([]byte, error) {
 		var lenBuf [4]byte
-		if off+4 > limit {
+		if off+4 > limit || off+4 < off {
 			return nil, fmt.Errorf("%w: truncated directory", ErrBadBatch)
 		}
-		if err := ctx.Read(off, lenBuf[:]); err != nil {
+		if err := read(off, lenBuf[:]); err != nil {
 			return nil, err
 		}
 		n := uint64(binary.LittleEndian.Uint32(lenBuf[:]))
-		if n == 0 || off+4+n > limit {
+		if n == 0 || off+4+n < off || off+4+n > limit {
 			return nil, fmt.Errorf("%w: blob length %d at %#x", ErrBadBatch, n, off)
 		}
 		out := make([]byte, n)
-		if err := ctx.Read(off+4, out); err != nil {
+		if err := read(off+4, out); err != nil {
 			return nil, err
 		}
 		off += 4 + n
@@ -201,12 +227,19 @@ func StageBatch(m *mem.Physical, priv mem.Priv, res *mem.Reserved, members []Bat
 	if len(members) == 0 || len(members) > MaxBatchMembers {
 		return fmt.Errorf("stage batch: %d members (max %d)", len(members), MaxBatchMembers)
 	}
+	buf := encodeBatchDir(members)
+	if uint64(len(buf)) > res.W.Size {
+		return fmt.Errorf("stage batch: directory %d bytes exceeds mem_W (%d)", len(buf), res.W.Size)
+	}
+	return m.Write(priv, res.WBase()+offPackage, buf)
+}
+
+// encodeBatchDir serializes members into the KSBT wire layout —
+// the exact inverse of parseBatchDir over a flat window.
+func encodeBatchDir(members []BatchMember) []byte {
 	size := uint64(8)
 	for _, bm := range members {
 		size += 8 + uint64(len(bm.EnclavePub)) + uint64(len(bm.Ciphertext))
-	}
-	if size > res.W.Size {
-		return fmt.Errorf("stage batch: directory %d bytes exceeds mem_W (%d)", size, res.W.Size)
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, batchMagic...)
@@ -217,7 +250,7 @@ func StageBatch(m *mem.Physical, priv mem.Priv, res *mem.Reserved, members []Bat
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bm.Ciphertext)))
 		buf = append(buf, bm.Ciphertext...)
 	}
-	return m.Write(priv, res.WBase()+offPackage, buf)
+	return buf
 }
 
 // ReadBatchResults reads the per-member outcome codes the handler

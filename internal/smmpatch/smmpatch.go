@@ -22,6 +22,7 @@ import (
 	"io"
 	"time"
 
+	"kshot/internal/faultinject"
 	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/machine"
@@ -154,6 +155,7 @@ type Handler struct {
 	textBase      uint64
 	textSize      uint64
 	attKey        []byte
+	fi            *faultinject.Set
 
 	// SMRAM-resident state.
 	keypair  *kcrypto.KeyPair
@@ -234,6 +236,11 @@ func (h *Handler) Placement() patch.Placement { return h.place }
 // Cursors returns the current mem_X and data allocation cursors, which
 // the enclave needs to prepare the next patch.
 func (h *Handler) Cursors() (memX, data uint64) { return h.memXUsed, h.dataUsed }
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted between batch members — the chaos suite's
+// stand-in for a firmware failure cutting an SMI short.
+func (h *Handler) SetFaultInjector(fi *faultinject.Set) { h.fi = fi }
 
 // Applied returns the IDs of currently applied patches, oldest first.
 func (h *Handler) Applied() []string {
