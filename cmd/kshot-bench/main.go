@@ -9,6 +9,7 @@
 //	kshot-bench -fig4 -fig5 -iters 5 # figures, 5 runs averaged
 //	kshot-bench -rq1 -version 3.14   # applicability sweep on 3.14
 //	kshot-bench -overhead -patches 1000
+//	kshot-bench -trace               # per-CVE phase breakdown + metrics + trace
 //
 // Output is plain text; pass -o FILE to also write it to a file.
 package main
@@ -23,6 +24,7 @@ import (
 	"kshot/internal/evalharness"
 	"kshot/internal/kcrypto"
 	"kshot/internal/report"
+	"kshot/internal/timing"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		rq1      = fs.Bool("rq1", false, "RQ1: patch all 30 CVEs")
 		pipeline = fs.Bool("pipeline", false, "pipelined ApplyAll vs serial Apply")
 		overhead = fs.Bool("overhead", false, "whole-system overhead")
+		trace    = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
 		iters    = fs.Int("iters", 3, "repetitions per measurement")
 		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
 		batch    = fs.Int("batch", 8, "batch size for -pipeline")
@@ -68,10 +71,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead
+	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace
 	if *all || !any {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead =
-			true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace =
+			true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	if *table1 {
@@ -171,6 +174,23 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := evalharness.PipelinedTable(p, *batch, *workers).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *trace {
+		fmt.Fprintf(out, "running phase-level observability breakdown (30 CVEs, deterministic clock)...\n")
+		b, err := evalharness.RunPhaseBreakdown(evalharness.PhaseOptions{
+			Version:   *version,
+			BatchSize: *batch,
+			SyncFetch: true,
+			Wall:      timing.NewFakeWall(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := evalharness.RenderPhaseReport(out, b); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -17,11 +17,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/obs"
 	"kshot/internal/patchserver"
 	"kshot/internal/report"
 )
@@ -40,6 +43,7 @@ func run(args []string) error {
 	cves := fs.String("cves", "CVE-2014-0196,CVE-2016-5195,CVE-2017-17806", "comma-separated CVEs to patch")
 	rollback := fs.Bool("rollback", false, "roll each patch back after applying (demonstration)")
 	standalone := fs.Bool("standalone", false, "start an in-process patch server")
+	obsAddr := fs.String("obs", "", "serve /metrics and /trace on this address while patching")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +88,19 @@ func run(args []string) error {
 	}
 	defer sys.Close()
 	fmt.Println("SMM locked, enclave attested, channel keys established")
+
+	var hooks *obs.Hooks
+	if *obsAddr != "" {
+		hooks = obs.NewHooks(0, nil)
+		sys.SetObserver(hooks)
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, hooks.Mux()) }()
+		fmt.Printf("observability on http://%s (/metrics, /trace)\n", ln.Addr())
+	}
 
 	for _, e := range entries {
 		fmt.Printf("\n=== %s (%s, type %s) ===\n", e.CVE, strings.Join(e.Functions, ", "), e.TypesString())
@@ -130,5 +147,11 @@ func run(args []string) error {
 
 	fmt.Printf("\napplied patches: %v\n", sys.Applied())
 	fmt.Printf("total SMIs: %d, virtual time elapsed: %v\n", sys.SMM.Entries(), sys.Clock.Now())
+	if hooks != nil {
+		fmt.Println("\nobservability summary:")
+		if err := hooks.Metrics.Snapshot().RenderText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"kshot/internal/obs"
 	"kshot/internal/patchserver"
 	"kshot/internal/pipeline"
 	"kshot/internal/sgxprep"
@@ -113,6 +114,7 @@ func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOptio
 			if _, err := c.HelloWithAttestation(s.info, s.meas, s.attKey); err == nil {
 				c.SetFaultInjector(s.fi)
 				c.SetWallClock(s.wall)
+				c.SetObserver(s.obs)
 				dialed = append(dialed, c)
 				fetchers <- c
 				continue
@@ -138,6 +140,7 @@ func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOptio
 		Retryable:  func(err error) bool { return errors.Is(err, smmpatch.ErrTargetActive) },
 		Clock:      s.wall,
 		FI:         s.fi,
+		Obs:        s.obs,
 		SyncFetch:  cfg.syncFetch,
 	})
 
@@ -188,6 +191,7 @@ func (b *batchBackend) FetchMany(ctx context.Context, cves []string) ([]pipeline
 		} else {
 			f.Time = timing.Linear(b.s.Model.FetchFixed, b.s.Model.FetchPerByte, len(r.Blob))
 			b.s.Clock.Advance(f.Time)
+			b.s.obs.Span(obs.PhaseFetch, r.CVE, -1, f.Time, len(r.Blob))
 		}
 		out[i] = f
 	}
@@ -299,6 +303,8 @@ func (b *batchBackend) DeliverBatch(ctx context.Context, members []*pipeline.Mem
 		switch codes[j] {
 		case smmpatch.StatusPatched:
 			m.Err = nil
+			s.obs.ObserveDur(obs.HistDowntime,
+				m.Stages.KeyGen+m.Stages.Decrypt+m.Stages.Verify+m.Stages.Apply+m.Stages.Switch)
 		case smmpatch.StatusTargetActive:
 			m.Err = fmt.Errorf("core: %s: %w", m.CVE, smmpatch.ErrTargetActive)
 		default:

@@ -32,6 +32,7 @@ import (
 	"kshot/internal/kernel"
 	"kshot/internal/machine"
 	"kshot/internal/mem"
+	"kshot/internal/obs"
 	"kshot/internal/patchserver"
 	"kshot/internal/sgx"
 	"kshot/internal/sgxprep"
@@ -105,9 +106,12 @@ type System struct {
 
 	// fi is the fault injection set threaded through every layer (nil
 	// outside chaos testing); wall paces real-time waits (retry
-	// backoff, injected latency) and defaults to the system clock.
+	// backoff, injected latency) and defaults to the system clock; obs
+	// is the observability hook set threaded the same way (nil when
+	// tracing/metrics are disabled).
 	fi   *faultinject.Set
 	wall timing.WallClock
+	obs  *obs.Hooks
 }
 
 // NewSystem boots the target machine, locks down SMM, attests and
@@ -284,6 +288,34 @@ func (s *System) SetFaultInjector(fi *faultinject.Set) {
 	s.Handler.SetFaultInjector(fi)
 	s.platform.SetFaultInjector(fi)
 	s.client.SetFaultInjector(fi)
+	s.wireFaultObserver()
+}
+
+// SetObserver threads the observability hooks through every layer of
+// the deployment — SMI delivery, the SMM patching handler, the ECALL
+// boundary, enclave preprocessing, and the patch-server client — or
+// removes them with nil. Fired fault-injection points are counted under
+// the obs.FaultPrefix namespace whenever both a set and hooks are
+// installed, regardless of installation order.
+func (s *System) SetObserver(ob *obs.Hooks) {
+	s.obs = ob
+	s.SMM.SetObserver(ob)
+	s.Handler.SetObserver(ob)
+	s.platform.SetObserver(ob)
+	s.client.SetObserver(ob)
+	s.prog.SetObserver(ob)
+	s.wireFaultObserver()
+}
+
+func (s *System) wireFaultObserver() {
+	ob := s.obs
+	if ob == nil {
+		s.fi.SetObserver(nil)
+		return
+	}
+	s.fi.SetObserver(func(pt faultinject.Point) {
+		ob.Count(obs.FaultPrefix+string(pt), 1)
+	})
 }
 
 // SetWallClock replaces the clock pacing real-time waits (nil restores
@@ -362,6 +394,7 @@ func (s *System) fetchBlob(ctx context.Context, c *patchserver.Client, cve strin
 	}
 	st.Fetch = timing.Linear(s.Model.FetchFixed, s.Model.FetchPerByte, len(blob))
 	s.Clock.Advance(st.Fetch)
+	s.obs.Span(obs.PhaseFetch, cve, -1, st.Fetch, len(blob))
 	return blob, nil
 }
 
@@ -465,6 +498,9 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 	}
 	if err := s.client.ReportStatusMAC(status.Code, status.Seq, status.Digest, status.MAC[:]); err != nil {
 		return nil, err
+	}
+	if wantStatus == smmpatch.StatusPatched {
+		s.obs.ObserveDur(obs.HistDowntime, st.KeyGen+st.Decrypt+st.Verify+st.Apply+st.Switch)
 	}
 	return &Report{ID: cve, Stages: *st}, nil
 }

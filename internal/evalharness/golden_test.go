@@ -1,0 +1,80 @@
+package evalharness
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kshot/internal/timing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+const goldenReport = "report_30cve.txt"
+
+// TestGoldenPhaseReport runs the full 30-CVE batched deployment under a
+// fake wall clock with synchronous fetching and asserts the rendered
+// observability report — phase table, metrics snapshot, event trace —
+// byte-for-byte against testdata/golden/report_30cve.txt. Every time
+// source is virtual and the pipeline is single-threaded, so the output
+// is a pure function of the suite; regenerate deliberately with
+//
+//	go test ./internal/evalharness -run Golden -update
+func TestGoldenPhaseReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 30-CVE deployment in -short mode")
+	}
+	b, err := RunPhaseBreakdown(PhaseOptions{
+		SyncFetch: true,
+		Wall:      timing.NewFakeWall(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderPhaseReport(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "golden", goldenReport)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report differs from %s:\n%s\nrerun with -update if the change is intended",
+			path, firstDiff(string(want), string(got)))
+	}
+}
+
+// firstDiff pinpoints the first differing line so a golden mismatch is
+// debuggable without dumping both multi-hundred-line reports.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}

@@ -235,10 +235,11 @@ func pointSeed(seed int64, pt Point) int64 {
 // safe on a nil receiver (permanently disabled) and for concurrent
 // use.
 type Set struct {
-	mu    sync.Mutex
-	plan  *Plan
-	calls map[Point]int
-	fired map[Point][]Fault
+	mu       sync.Mutex
+	plan     *Plan
+	calls    map[Point]int
+	fired    map[Point][]Fault
+	observer func(Point)
 }
 
 // New builds a Set driven by plan (nil plan means never fire).
@@ -250,6 +251,18 @@ func New(plan *Plan) *Set {
 	}
 }
 
+// SetObserver installs a callback invoked (outside the set's lock)
+// every time a fault actually fires — how the observability layer
+// counts fault-point hits without this package importing it.
+func (s *Set) SetObserver(fn func(Point)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
 // fire advances the point's call counter and returns the scheduled
 // fault if this pass is one.
 func (s *Set) fire(pt Point) (Fault, bool) {
@@ -257,15 +270,20 @@ func (s *Set) fire(pt Point) (Fault, bool) {
 		return Fault{}, false
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := s.calls[pt]
 	s.calls[pt] = n + 1
 	for _, f := range s.plan.schedule[pt] {
 		if f.Call == n {
 			s.fired[pt] = append(s.fired[pt], f)
+			obs := s.observer
+			s.mu.Unlock()
+			if obs != nil {
+				obs(pt)
+			}
 			return f, true
 		}
 	}
+	s.mu.Unlock()
 	return Fault{}, false
 }
 

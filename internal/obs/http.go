@@ -1,0 +1,37 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry in the plain-text format of
+// MetricsSnap.RenderText — an expvar-style scrape endpoint.
+func (h *Hooks) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var snap MetricsSnap
+		if h != nil {
+			snap = h.Metrics.Snapshot()
+		}
+		_ = snap.RenderText(w)
+	})
+}
+
+// TraceHandler serves the retained event log in the text format of
+// TraceSnap.RenderText, newest events last.
+func (h *Hooks) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var snap TraceSnap
+		if h != nil {
+			snap = h.Tracer.Snapshot()
+		}
+		_ = snap.RenderText(w)
+	})
+}
+
+// Mux returns a pprof-style debug mux exposing /metrics and /trace.
+func (h *Hooks) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h.MetricsHandler())
+	mux.Handle("/trace", h.TraceHandler())
+	return mux
+}

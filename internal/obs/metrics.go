@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjusted integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds delta (nil-safe).
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bucket layout is chosen at
+// creation and never changes, so concurrent observers only touch
+// preallocated slots.
+type Histogram struct {
+	bounds []float64 // inclusive upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits accumulated under CAS
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. An implicit overflow bucket catches everything above the
+// last bound.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample (nil-safe).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Metrics is the registry: named counters and histograms, safe for
+// concurrent use (including concurrent first-touch registration). All
+// methods are safe on a nil receiver.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add adds delta to the named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	m.Counter(name).Add(delta)
+}
+
+// HistogramWith returns the named histogram, creating it with the
+// given bucket bounds on first use (later callers get the original
+// layout regardless of the bounds they pass).
+func (m *Metrics) HistogramWith(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Observe records a sample into the named histogram, creating it with
+// the default bucket layout for that name on first use.
+func (m *Metrics) Observe(name string, v float64) {
+	m.HistogramWith(name, defaultBuckets(name)).Observe(v)
+}
+
+// LatencyBuckets is the default microsecond layout for duration
+// histograms, spanning sub-µs switches to multi-ms batch SMIs.
+var LatencyBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 50000}
+
+// CountBuckets is the default layout for small-cardinality histograms
+// (batch sizes, retry counts).
+var CountBuckets = []float64{0, 1, 2, 4, 8, 16, 32}
+
+// defaultBuckets picks a bucket layout from the metric name: the
+// *_us duration convention gets latency buckets, everything else the
+// small-count layout.
+func defaultBuckets(name string) []float64 {
+	if strings.HasSuffix(name, "_us") {
+		return LatencyBuckets
+	}
+	return CountBuckets
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string
+	Value int64
+}
+
+// HistSnap is one histogram in a snapshot.
+type HistSnap struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; the last is the overflow bucket
+	Count  uint64
+	Sum    float64
+}
+
+// MetricsSnap is a point-in-time copy of the registry, sorted by name.
+type MetricsSnap struct {
+	Counters []CounterSnap
+	Hists    []HistSnap
+}
+
+// Snapshot copies every metric, sorted by name for deterministic
+// rendering.
+func (m *Metrics) Snapshot() MetricsSnap {
+	if m == nil {
+		return MetricsSnap{}
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := MetricsSnap{}
+	for name, c := range m.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, h := range m.hists {
+		hs := HistSnap{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		hs.Counts = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Hists = append(snap.Hists, hs)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
+	return snap
+}
+
+// RenderText writes the snapshot in an expvar-style plain-text format:
+// one "name value" line per counter, then per-histogram bucket lines.
+func (s MetricsSnap) RenderText(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, h := range s.Hists {
+		fmt.Fprintf(&b, "%s count=%d sum=%.3f\n", h.Name, h.Count, h.Sum)
+		for i, bound := range h.Bounds {
+			if h.Counts[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s le=%g %d\n", h.Name, bound, h.Counts[i])
+		}
+		if over := h.Counts[len(h.Counts)-1]; over > 0 {
+			fmt.Fprintf(&b, "%s le=+Inf %d\n", h.Name, over)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

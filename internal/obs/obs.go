@@ -1,0 +1,149 @@
+// Package obs is KShot's zero-dependency observability layer: a
+// fixed-capacity ring-buffer event tracer and a metrics registry,
+// threaded through the patching pipeline the same way the faultinject
+// hooks are. Both are driven through a *Hooks handle whose methods are
+// safe on a nil receiver, so every instrumented layer pays one
+// predictable branch when observability is disabled and nothing else.
+//
+// The tracer is modeled on an SMM-resident event log: capacity is
+// fixed up front (SMRAM does not grow), emitting is bounded work with
+// no allocation on the hot path, and when the buffer wraps the oldest
+// events are overwritten and counted as dropped — the drop counter is
+// the honesty witness (dropped == emitted − retained, always).
+//
+// Time sourcing goes through timing.WallClock: under timing.FakeWall
+// every event timestamp is a pure function of the run's schedule, so a
+// rendered trace replays byte-identically — which is what lets the
+// evaluation report be golden-tested.
+package obs
+
+import (
+	"time"
+
+	"kshot/internal/timing"
+)
+
+// Phase names one of the paper's pipeline phases (§VI's per-phase
+// breakdown). The SMI enter/resume pair brackets the only interval the
+// OS is actually paused.
+type Phase uint8
+
+// The traced phases.
+const (
+	PhaseFetch    Phase = iota + 1 // T_fetch: helper downloads the encrypted patch
+	PhasePrep                      // T_prep: enclave preprocessing + staging pass
+	PhaseVerify                    // T_verify: in-SMM keygen + decrypt + verify
+	PhaseSMIEnter                  // T_smi_enter: world switch into SMM
+	PhaseApply                     // T_apply: in-SMM patch application
+	PhaseResume                    // T_resume: RSM back to the OS
+	PhaseWave                      // wave marker: one conflict-free deployment wave
+	PhaseBatch                     // batch marker: one batched SMI delivery
+)
+
+// String returns the phase's evaluation-table name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFetch:
+		return "T_fetch"
+	case PhasePrep:
+		return "T_prep"
+	case PhaseVerify:
+		return "T_verify"
+	case PhaseSMIEnter:
+		return "T_smi_enter"
+	case PhaseApply:
+		return "T_apply"
+	case PhaseResume:
+		return "T_resume"
+	case PhaseWave:
+		return "wave"
+	case PhaseBatch:
+		return "batch"
+	default:
+		return "T_unknown"
+	}
+}
+
+// Metric names used by the instrumented layers. Counters unless noted.
+const (
+	CtrSMIEntries  = "smi.entries"
+	CtrFetches     = "fetch.results"
+	CtrFetchErrors = "fetch.errors"
+	CtrECalls      = "sgx.ecalls"
+	CtrEnclaveLost = "sgx.destroyed"
+	CtrApplied     = "patch.applied"
+	CtrRolledBack  = "patch.rolled_back"
+	CtrBatches     = "pipeline.batches"
+	CtrSingles     = "pipeline.singles"
+	CtrRetries     = "pipeline.retries"
+	CtrDegraded    = "pipeline.degraded"
+
+	// FaultPrefix prefixes one counter per fired fault-injection point
+	// (e.g. "fault.smm.refuse").
+	FaultPrefix = "fault."
+
+	HistSMIPause  = "smi.pause_us"      // histogram: OS pause per SMI, µs
+	HistBatchSize = "batch.size"        // histogram: members per delivered batch
+	HistAttempts  = "patch.attempts"    // histogram: delivery attempts per patch
+	HistDowntime  = "patch.downtime_us" // histogram: per-patch SMM downtime, µs
+)
+
+// DefaultTraceCapacity is the event-log size commands use unless told
+// otherwise — sized like a small SMRAM log region.
+const DefaultTraceCapacity = 4096
+
+// Hooks bundles a tracer and a metrics registry behind one nil-safe
+// handle. A nil *Hooks (or nil fields) is a valid, permanently-quiet
+// observer, mirroring the faultinject.Set contract.
+type Hooks struct {
+	Tracer  *Tracer
+	Metrics *Metrics
+}
+
+// NewHooks builds a Hooks with a tracer of the given capacity and a
+// fresh metrics registry. clock stamps events; nil means the real
+// clock, tests pass timing.FakeWall for replayable traces.
+func NewHooks(traceCapacity int, clock timing.WallClock) *Hooks {
+	return &Hooks{
+		Tracer:  NewTracer(traceCapacity, clock),
+		Metrics: NewMetrics(),
+	}
+}
+
+// Span records a completed phase span with its virtual duration.
+func (h *Hooks) Span(phase Phase, id string, wave int, dur time.Duration, bytes int) {
+	if h == nil {
+		return
+	}
+	h.Tracer.Emit(Event{Kind: KindSpan, Phase: phase, ID: id, Wave: wave, Dur: dur, Bytes: bytes})
+}
+
+// Point records an instantaneous phase marker.
+func (h *Hooks) Point(phase Phase, id string, wave int) {
+	if h == nil {
+		return
+	}
+	h.Tracer.Emit(Event{Kind: KindPoint, Phase: phase, ID: id, Wave: wave})
+}
+
+// Count adds delta to the named counter.
+func (h *Hooks) Count(name string, delta int64) {
+	if h == nil {
+		return
+	}
+	h.Metrics.Add(name, delta)
+}
+
+// Observe records a sample into the named histogram.
+func (h *Hooks) Observe(name string, v float64) {
+	if h == nil {
+		return
+	}
+	h.Metrics.Observe(name, v)
+}
+
+// ObserveDur records a duration sample in microseconds — the unit
+// every evaluation table uses.
+func (h *Hooks) ObserveDur(name string, d time.Duration) {
+	h.Observe(name, float64(d.Nanoseconds())/1000)
+}

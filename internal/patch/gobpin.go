@@ -1,0 +1,25 @@
+package patch
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// init pins encoding/gob's process-global type IDs for the patch wire
+// types. Gob assigns IDs from a global counter in first-encode order,
+// so the encoded byte length of a BinaryPatch would otherwise depend
+// on which subsystem happened to gob-encode first in the process —
+// enough to shift ciphertext sizes, and therefore the virtual transfer
+// times derived from them, between otherwise identical runs. Encoding
+// one canonical value at init fixes the assignment order for every
+// importer.
+func init() {
+	err := gob.NewEncoder(io.Discard).Encode(&BinaryPatch{
+		Funcs:    []FuncPatch{{Relocs: []Reloc{{}}}},
+		Globals:  []GlobalEdit{{}},
+		Warnings: []string{""},
+	})
+	if err != nil {
+		panic("patch: gob type pin: " + err.Error())
+	}
+}

@@ -1,0 +1,19 @@
+package patchserver
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// init pins encoding/gob's process-global type IDs for the protocol
+// messages, in one canonical order, so wire sizes never depend on what
+// else the process gob-encoded first. See the matching pins in
+// internal/patch and internal/sgxprep.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{&request{}, &response{}} {
+		if err := enc.Encode(v); err != nil {
+			panic("patchserver: gob type pin: " + err.Error())
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
+	"kshot/internal/obs"
 	"kshot/internal/patch"
 	"kshot/internal/sgx"
 	"kshot/internal/sgxprep"
@@ -379,6 +380,7 @@ type Client struct {
 	// fakes keep the suite off the host clock. Guarded by mu.
 	fi   *faultinject.Set
 	wall timing.WallClock
+	obs  *obs.Hooks
 }
 
 // Dial connects to the server.
@@ -409,14 +411,22 @@ func (c *Client) SetWallClock(wc timing.WallClock) {
 	c.wall = wc
 }
 
-func (c *Client) hooks() (*faultinject.Set, timing.WallClock) {
+// SetObserver installs (or, with nil, removes) the observability hooks
+// counting per-CVE fetch outcomes.
+func (c *Client) SetObserver(ob *obs.Hooks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = ob
+}
+
+func (c *Client) hooks() (*faultinject.Set, timing.WallClock, *obs.Hooks) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	wall := c.wall
 	if wall == nil {
 		wall = timing.Real()
 	}
-	return c.fi, wall
+	return c.fi, wall, c.obs
 }
 
 func (c *Client) roundTrip(req *request) (*response, error) {
@@ -528,7 +538,7 @@ func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult
 	for i, cve := range cves {
 		reqs[i] = &request{Kind: kindPatch, CVE: cve}
 	}
-	fi, wall := c.hooks()
+	fi, wall, ob := c.hooks()
 	resps, err := c.roundTrips(ctx, reqs)
 	if err != nil {
 		return nil, err
@@ -536,6 +546,7 @@ func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult
 	out := make([]FetchResult, len(cves))
 	for i, resp := range resps {
 		out[i].CVE = cves[i]
+		ob.Count(obs.CtrFetches, 1)
 		// Injected transport failures, applied per result: extra
 		// latency (an induced timeout when ctx expires first), a
 		// failed fetch, or a truncated body the enclave must reject.
@@ -546,10 +557,12 @@ func (c *Client) FetchPatches(ctx context.Context, cves []string) ([]FetchResult
 		}
 		if err := fi.Error(faultinject.FetchError); err != nil {
 			out[i].Err = fmt.Errorf("patchserver: %s: %w", cves[i], err)
+			ob.Count(obs.CtrFetchErrors, 1)
 			continue
 		}
 		if resp.Err != "" {
 			out[i].Err = errors.New("patchserver: " + resp.Err)
+			ob.Count(obs.CtrFetchErrors, 1)
 			continue
 		}
 		blob := resp.Blob

@@ -30,9 +30,11 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"kshot/internal/faultinject"
+	"kshot/internal/obs"
 	"kshot/internal/timing"
 )
 
@@ -75,6 +77,11 @@ type Config struct {
 	// worker stalls before fetches and context cancellation at stage
 	// boundaries.
 	FI *faultinject.Set
+
+	// Obs, when non-nil, records pipeline-level metrics (batch sizes,
+	// delivery-mode counters, per-member attempt counts) and batch
+	// markers in the trace.
+	Obs *obs.Hooks
 
 	// SyncFetch runs each batch's fetch inline, immediately before its
 	// delivery, instead of overlapping fetches with earlier deliveries.
@@ -185,6 +192,21 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 	res := &Result{Members: members}
 	if len(members) == 0 {
 		return res, nil
+	}
+	if ob := cfg.Obs; ob != nil {
+		// Metrics are published once per run, on every return path, so
+		// counter totals always match the Result the caller sees.
+		defer func() {
+			ob.Count(obs.CtrBatches, int64(res.Batches))
+			ob.Count(obs.CtrSingles, int64(res.Singles))
+			ob.Count(obs.CtrRetries, int64(res.Retries))
+			ob.Count(obs.CtrDegraded, int64(res.Degraded))
+			for _, m := range members {
+				if m.Attempts > 0 {
+					ob.Observe(obs.HistAttempts, float64(m.Attempts))
+				}
+			}
+		}()
 	}
 
 	// Injected cancellation wraps the caller's context so a planned
@@ -304,6 +326,10 @@ func Run(ctx context.Context, b Backend, cves []string, cfg Config) (*Result, er
 		}
 		if len(deliverable) == 0 {
 			continue
+		}
+		if ob := cfg.Obs; ob != nil {
+			ob.Observe(obs.HistBatchSize, float64(len(deliverable)))
+			ob.Point(obs.PhaseBatch, fmt.Sprintf("batch[%d]:%d", i, len(deliverable)), -1)
 		}
 		boundary() // pre-delivery
 

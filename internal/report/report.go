@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -32,6 +33,23 @@ func (t *Table) AddRow(cells ...string) {
 // AddNote appends a footnote line.
 func (t *Table) AddNote(note string) {
 	t.notes = append(t.notes, note)
+}
+
+// SortRows orders the rows lexicographically by the given column
+// (stably, so equal keys keep insertion order). Harnesses that collect
+// per-CVE rows from concurrent runs sort before rendering so the output
+// is reproducible.
+func (t *Table) SortRows(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		a, b := "", ""
+		if col < len(t.rows[i]) {
+			a = t.rows[i][col]
+		}
+		if col < len(t.rows[j]) {
+			b = t.rows[j][col]
+		}
+		return a < b
+	})
 }
 
 // Render writes the table.

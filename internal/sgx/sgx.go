@@ -20,6 +20,7 @@ import (
 
 	"kshot/internal/faultinject"
 	"kshot/internal/mem"
+	"kshot/internal/obs"
 )
 
 // RegionEPC is the mapped EPC region name.
@@ -66,6 +67,7 @@ type Platform struct {
 	// freePages is a simple page bitmap; enclaves are small and few.
 	used []bool
 	fi   *faultinject.Set
+	obs  *obs.Hooks
 }
 
 // NewPlatform maps an EPC of the given size at base. EPC pages are
@@ -99,6 +101,20 @@ func (p *Platform) injector() *faultinject.Set {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.fi
+}
+
+// SetObserver installs (or, with nil, removes) the observability hooks
+// counting ECALL crossings and enclave losses on this platform.
+func (p *Platform) SetObserver(ob *obs.Hooks) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = ob
+}
+
+func (p *Platform) observer() *obs.Hooks {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.obs
 }
 
 // Load creates an enclave with npages EPC pages, loads prog, computes
@@ -216,12 +232,15 @@ func (e *Enclave) ECall(fn int, args []byte) ([]byte, error) {
 		return nil, ErrDestroyed
 	}
 	e.mu.Unlock()
+	ob := e.plat.observer()
+	ob.Count(obs.CtrECalls, 1)
 	// Fault injection at the trust boundary: an enclave loss (EPC
 	// power event, enclave crash) surfaces as ErrDestroyed so callers
 	// exercise their reload path; an ECALL failure is a plain error.
 	fi := e.plat.injector()
 	if fi.Fire(faultinject.SGXDestroy) {
 		e.Destroy()
+		ob.Count(obs.CtrEnclaveLost, 1)
 		return nil, ErrDestroyed
 	}
 	if err := fi.Error(faultinject.SGXECallFail); err != nil {

@@ -1,0 +1,27 @@
+package sgxprep
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// init pins encoding/gob's process-global type IDs for the ECALL wire
+// types, in one canonical order. Without this, the encoded size of an
+// argument or result block — and with it the staged ciphertext length
+// and the virtual stage times derived from byte counts — would depend
+// on which subsystem gob-encoded first in the process. See the matching
+// pin in internal/patch, whose init runs before this one.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		&PrepareArgs{},
+		&RollbackArgs{},
+		&BatchPrepareArgs{},
+		&BatchResult{Members: []BatchMemberResult{{}}},
+		&Result{},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic("sgxprep: gob type pin: " + err.Error())
+		}
+	}
+}

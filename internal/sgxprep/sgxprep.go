@@ -23,6 +23,7 @@ import (
 
 	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
+	"kshot/internal/obs"
 	"kshot/internal/patch"
 	"kshot/internal/sgx"
 	"kshot/internal/timing"
@@ -165,6 +166,7 @@ type Program struct {
 	rng     io.Reader
 	symtab  *isa.SymTab
 	lastPre Breakdown
+	obs     *obs.Hooks
 }
 
 var _ sgx.Program = (*Program)(nil)
@@ -209,6 +211,10 @@ func (p *Program) Init(env *sgx.Env) error {
 
 // LastBreakdown returns the preprocessing time of the last ECALL.
 func (p *Program) LastBreakdown() Breakdown { return p.lastPre }
+
+// SetObserver installs (or, with nil, removes) the observability hooks
+// emitting a T_prep span per prepared patch.
+func (p *Program) SetObserver(ob *obs.Hooks) { p.obs = ob }
 
 // ECall implements sgx.Program.
 func (p *Program) ECall(env *sgx.Env, fn int, args []byte) ([]byte, error) {
@@ -271,6 +277,7 @@ func (p *Program) prepare(env *sgx.Env, in PrepareArgs) ([]byte, error) {
 	}
 	p.cfg.Clock.Advance(timing.Linear(p.cfg.Model.PrepFixed, p.cfg.Model.PrepPerByte, bp.PayloadBytes()))
 	p.lastPre = Breakdown{Preprocess: p.cfg.Clock.Now() - start}
+	p.obs.Span(obs.PhasePrep, bp.ID, -1, p.lastPre.Preprocess, bp.PayloadBytes())
 
 	res, err := p.sealForSMM(wire, in.SMMPub)
 	if err != nil {
@@ -332,6 +339,7 @@ func (p *Program) prepareBatch(env *sgx.Env, in BatchPrepareArgs) ([]byte, error
 		prep := timing.Linear(p.cfg.Model.PrepFixed, p.cfg.Model.PrepPerByte, bp.PayloadBytes())
 		p.cfg.Clock.Advance(prep)
 		total += prep
+		p.obs.Span(obs.PhasePrep, bp.ID, -1, prep, bp.PayloadBytes())
 		sealed, err := p.sealForSMM(wire, in.SMMPub)
 		if err != nil {
 			mr.Err = err.Error()
@@ -359,6 +367,7 @@ func (p *Program) prepareRollback(_ *sgx.Env, in RollbackArgs) ([]byte, error) {
 		return nil, err
 	}
 	p.cfg.Clock.Advance(p.cfg.Model.PrepFixed)
+	p.obs.Span(obs.PhasePrep, "rollback:"+in.ID, -1, p.cfg.Model.PrepFixed, 0)
 	res, err := p.sealForSMM(wire, in.SMMPub)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ import (
 	"kshot/internal/isa"
 	"kshot/internal/machine"
 	"kshot/internal/mem"
+	"kshot/internal/obs"
 	"kshot/internal/timing"
 )
 
@@ -86,6 +87,7 @@ type Controller struct {
 	locked   bool
 	handlers map[Command]Handler
 	fi       *faultinject.Set
+	obs      *obs.Hooks
 
 	entries uint64        // SMIs dispatched
 	pause   time.Duration // total virtual OS-pause across all SMIs
@@ -193,6 +195,14 @@ func (c *Controller) SetFaultInjector(fi *faultinject.Set) {
 	c.fi = fi
 }
 
+// SetObserver installs (or, with nil, removes) the observability hooks
+// that record SMI entries, world switches, and per-SMI pause time.
+func (c *Controller) SetObserver(h *obs.Hooks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = h
+}
+
 // Trigger raises an SMI with the given command and argument: the
 // machine pauses, all vCPU states are saved into the SMRAM save area,
 // the handler runs, states are restored from SMRAM, and the machine
@@ -202,6 +212,7 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 	c.mu.Lock()
 	h, ok := c.handlers[cmd]
 	fi := c.fi
+	ob := c.obs
 	c.mu.Unlock()
 
 	// Injected delivery refusal: the chipset drops the SMI before any
@@ -211,6 +222,11 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 		return fmt.Errorf("smm: SMI %#02x refused: %w", uint8(cmd), err)
 	}
 
+	if ob != nil {
+		ob.Count(obs.CtrSMIEntries, 1)
+		ob.Span(obs.PhaseSMIEnter, fmt.Sprintf("smi:%#02x", uint8(cmd)), -1, c.model.SMMEntry, 0)
+	}
+
 	c.machine.Pause()
 	defer c.machine.Resume()
 	c.clock.Advance(c.model.SMMEntry)
@@ -218,9 +234,16 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 
 	ctx := &Context{ctrl: c, Arg: arg}
 	defer func() {
+		pause := c.model.SMMEntry + c.model.SMMExit + ctx.charged
 		c.mu.Lock()
-		c.pause += c.model.SMMEntry + c.model.SMMExit + ctx.charged
+		c.pause += pause
 		c.mu.Unlock()
+		if ob != nil {
+			// The resume span carries the whole pause this SMI cost —
+			// the OS observes exactly this much stolen time.
+			ob.Span(obs.PhaseResume, fmt.Sprintf("smi:%#02x", uint8(cmd)), -1, pause, 0)
+			ob.ObserveDur(obs.HistSMIPause, pause)
+		}
 	}()
 
 	c.mu.Lock()

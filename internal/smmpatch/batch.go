@@ -9,6 +9,7 @@ import (
 	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
 	"kshot/internal/mem"
+	"kshot/internal/obs"
 	"kshot/internal/patch"
 	"kshot/internal/smm"
 )
@@ -102,6 +103,7 @@ func (h *Handler) handleBatch(ctx *smm.Context, _ uint64) error {
 		codes[i] = h.processBatchMember(ctx, kp, m, &bd)
 		if codes[i] == StatusPatched {
 			applied++
+			h.observeOutcome(h.lastJournalID(), bd, h.journalPayloadBytes(), obs.CtrApplied)
 		}
 		bds[i] = bd
 	}

@@ -27,6 +27,7 @@ import (
 	"kshot/internal/kcrypto"
 	"kshot/internal/machine"
 	"kshot/internal/mem"
+	"kshot/internal/obs"
 	"kshot/internal/patch"
 	"kshot/internal/smm"
 )
@@ -156,6 +157,7 @@ type Handler struct {
 	textSize      uint64
 	attKey        []byte
 	fi            *faultinject.Set
+	obs           *obs.Hooks
 
 	// SMRAM-resident state.
 	keypair  *kcrypto.KeyPair
@@ -241,6 +243,46 @@ func (h *Handler) Cursors() (memX, data uint64) { return h.memXUsed, h.dataUsed 
 // injection set consulted between batch members — the chaos suite's
 // stand-in for a firmware failure cutting an SMI short.
 func (h *Handler) SetFaultInjector(fi *faultinject.Set) { h.fi = fi }
+
+// SetObserver installs (or, with nil, removes) the observability hooks
+// recording per-patch verify/apply spans and applied/rolled-back
+// counters from inside the SMI.
+func (h *Handler) SetObserver(ob *obs.Hooks) { h.obs = ob }
+
+// observeOutcome emits the in-SMM spans for one processed package:
+// T_verify covers the session work done before bytes change (keygen +
+// decrypt + verify), T_apply the mutation itself.
+func (h *Handler) observeOutcome(id string, bd Breakdown, bytes int, counter string) {
+	ob := h.obs
+	if ob == nil {
+		return
+	}
+	ob.Span(obs.PhaseVerify, id, -1, bd.KeyGen+bd.Decrypt+bd.Verify, 0)
+	ob.Span(obs.PhaseApply, id, -1, bd.Apply, bytes)
+	ob.Count(counter, 1)
+}
+
+// lastJournalID returns the ID of the newest journal entry — the patch
+// a batch member just landed.
+func (h *Handler) lastJournalID() string {
+	if len(h.journal) == 0 {
+		return ""
+	}
+	return h.journal[len(h.journal)-1].id
+}
+
+// journalPayloadBytes sums the payload sizes of the newest journal
+// entry — the applied patch a batch member just landed.
+func (h *Handler) journalPayloadBytes() int {
+	if len(h.journal) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range h.journal[len(h.journal)-1].funcs {
+		n += f.payloadLen
+	}
+	return n
+}
 
 // Applied returns the IDs of currently applied patches, oldest first.
 func (h *Handler) Applied() []string {
@@ -358,6 +400,7 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 		if err := h.rebaselineText(ctx); err != nil {
 			return h.fail(ctx, err)
 		}
+		h.observeOutcome(pkg.ID, h.lastBreakdown, h.journalPayloadBytes(), obs.CtrApplied)
 		return h.status(ctx, StatusPatched, attestation(pkg.ID, h.journal))
 	case patch.OpRollback:
 		id, err := h.rollbackCore(ctx, pkg, &h.lastBreakdown)
@@ -367,6 +410,7 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 		if err := h.rebaselineText(ctx); err != nil {
 			return h.fail(ctx, err)
 		}
+		h.observeOutcome(id, h.lastBreakdown, 0, obs.CtrRolledBack)
 		return h.status(ctx, StatusRolledBack, attestation(id, h.journal))
 	default:
 		return h.fail(ctx, fmt.Errorf("smmpatch: bad op %d", pkg.Op))
