@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench check fuzz cover
+.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover
 
 # Per-target budget for the fuzz smoke pass (see `fuzz` below).
 FUZZTIME ?= 30s
@@ -33,6 +33,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# One iteration of every benchmark in the tree — catches benchmarks
+# that bit-rot without paying for statistically meaningful timings.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Machine-readable evaluation results (JSON) for dashboards and diffing
+# runs; see cmd/kshot-bench -json.
+BENCHJSON ?= bench.json
+benchjson:
+	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -iters 1 -o $(BENCHJSON) > /dev/null
+
 # Statement coverage with a ratchet: prints the per-package breakdown
 # and fails if the total drops below COVERMIN.
 cover:
@@ -50,5 +61,6 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzAsmDisasmRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/isa/
 	$(GO) test -fuzz=FuzzKSBTParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/smmpatch/
+	$(GO) test -fuzz=FuzzSparseMemAccess -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
 
 check: build vet test

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		version  = fs.String("version", "4.4", "kernel version for -rq1/-pipeline")
 		outFile  = fs.String("o", "", "also write output to this file")
 		csv      = fs.Bool("csv", false, "emit figures as CSV instead of ASCII bars")
+		jsonOut  = fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,13 +73,23 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	any := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace
-	if *all || !any {
+	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace
+	if *all || !selected {
 		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace =
 			true, true, true, true, true, true, true, true, true, true, true
 	}
 
-	if *table1 {
+	// In JSON mode, data-bearing experiments accumulate here and are
+	// emitted as one document; progress chatter and the qualitative
+	// text tables (I and IV) are suppressed so the output parses.
+	results := make(map[string]any)
+	progress := func(format string, a ...any) {
+		if !*jsonOut {
+			fmt.Fprintf(out, format, a...)
+		}
+	}
+
+	if *table1 && !*jsonOut {
 		t, err := evalharness.Table1()
 		if err != nil {
 			return err
@@ -90,20 +102,23 @@ func run(args []string, stdout io.Writer) error {
 
 	var sizePoints []evalharness.SizePoint
 	if *table2 || *table3 {
-		fmt.Fprintf(out, "running size sweep (%d iters per size)...\n", *iters)
+		progress("running size sweep (%d iters per size)...\n", *iters)
 		var err error
 		sizePoints, err = evalharness.RunSizeSweep(*iters, kcrypto.HashSHA256)
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			results["size_sweep"] = sizePoints
+		}
 	}
-	if *table2 {
+	if *table2 && !*jsonOut {
 		if err := evalharness.Table2(sizePoints, *iters).Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 	}
-	if *table3 {
+	if *table3 && !*jsonOut {
 		if err := evalharness.Table3(sizePoints, *iters).Render(out); err != nil {
 			return err
 		}
@@ -111,16 +126,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *fig4 || *fig5 {
-		fmt.Fprintf(out, "running whole-system CVE measurements (%d iters per CVE)...\n", *iters)
+		progress("running whole-system CVE measurements (%d iters per CVE)...\n", *iters)
 		points, err := evalharness.RunFigureCVEs(*iters)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			results["figure_cves"] = points
 		}
 		render := func(f *report.Figure) error {
 			if *csv {
 				return f.RenderCSV(out)
 			}
 			return f.Render(out)
+		}
+		if *jsonOut {
+			render = func(*report.Figure) error { return nil }
 		}
 		if *fig4 {
 			if err := render(evalharness.Figure4(points)); err != nil {
@@ -136,7 +157,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	if *table4 {
+	if *table4 && !*jsonOut {
 		if err := evalharness.Table4().Render(out); err != nil {
 			return err
 		}
@@ -147,40 +168,52 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := evalharness.Table5(rows).Render(out); err != nil {
-			return err
+		if *jsonOut {
+			results["table5"] = rows
+		} else {
+			if err := evalharness.Table5(rows).Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 
 	if *rq1 {
-		fmt.Fprintf(out, "running RQ1 sweep on kernel %s (30 CVEs)...\n", *version)
+		progress("running RQ1 sweep on kernel %s (30 CVEs)...\n", *version)
 		rows, err := evalharness.RunRQ1(*version, func(r evalharness.RQ1Row) {
-			fmt.Fprintf(out, "  %-18s pause %sus  %v\n", r.CVE, report.Us(r.PauseVirtual), r.Passed())
+			progress("  %-18s pause %sus  %v\n", r.CVE, report.Us(r.PauseVirtual), r.Passed())
 		})
 		if err != nil {
 			return err
 		}
-		if err := evalharness.RQ1Table(rows).Render(out); err != nil {
-			return err
+		if *jsonOut {
+			results["rq1"] = rows
+		} else {
+			if err := evalharness.RQ1Table(rows).Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 
 	if *pipeline {
-		fmt.Fprintf(out, "running pipelined ApplyAll vs serial (batch %d, %d workers)...\n", *batch, *workers)
+		progress("running pipelined ApplyAll vs serial (batch %d, %d workers)...\n", *batch, *workers)
 		p, err := evalharness.RunPipelinedComparison(*version, *batch, *workers)
 		if err != nil {
 			return err
 		}
-		if err := evalharness.PipelinedTable(p, *batch, *workers).Render(out); err != nil {
-			return err
+		if *jsonOut {
+			results["pipeline"] = p
+		} else {
+			if err := evalharness.PipelinedTable(p, *batch, *workers).Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 
 	if *trace {
-		fmt.Fprintf(out, "running phase-level observability breakdown (30 CVEs, deterministic clock)...\n")
+		progress("running phase-level observability breakdown (30 CVEs, deterministic clock)...\n")
 		b, err := evalharness.RunPhaseBreakdown(evalharness.PhaseOptions{
 			Version:   *version,
 			BatchSize: *batch,
@@ -190,17 +223,29 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := evalharness.RenderPhaseReport(out, b); err != nil {
-			return err
+		if *jsonOut {
+			// Hooks holds live tracer state; the rows and counters are
+			// the machine-readable part.
+			results["phases"] = map[string]any{
+				"rows": b.Rows, "waves": b.Waves, "smis": b.SMIs, "smm_pause": b.SMMPause,
+			}
+		} else {
+			if err := evalharness.RenderPhaseReport(out, b); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 
 	if *overhead {
-		fmt.Fprintf(out, "running whole-system overhead (%d-patch storm)...\n", *patches)
+		progress("running whole-system overhead (%d-patch storm)...\n", *patches)
 		res, err := evalharness.RunOverhead(*patches, 2*time.Second)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			results["overhead"] = res
+			return emitJSON(out, results)
 		}
 		fmt.Fprintf(out, "Sysbench-style workload overhead (§VI-C3):\n")
 		fmt.Fprintf(out, "  baseline:   %d ops (%.0f ops/s)\n", res.Baseline.Ops, res.Baseline.OpsPerSec())
@@ -209,5 +254,16 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(out, "  virtual OS pause per patch: %sus; pause fraction: %.3f%%\n",
 			report.Us(res.PausePerOp), res.VirtualPauseFraction*100)
 	}
+	if *jsonOut {
+		return emitJSON(out, results)
+	}
 	return nil
+}
+
+// emitJSON writes the accumulated experiment results as one indented
+// JSON document. Durations are encoded as integer nanoseconds.
+func emitJSON(out io.Writer, results map[string]any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }

@@ -16,6 +16,7 @@ import (
 	"kshot/internal/evalharness"
 	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
+	"kshot/internal/kernel"
 	"kshot/internal/mem"
 	"kshot/internal/sgx"
 	"kshot/internal/smm"
@@ -37,6 +38,8 @@ type chaosHarness struct {
 	d        *evalharness.Deployment
 	pool     []*cvebench.Entry
 	pristine map[string][]byte // function -> pre-patch text bytes
+	snap     *mem.Snapshot     // COW capture of the pristine machine
+	text     *mem.Region
 	smram    *mem.Region
 	epc      *mem.Region
 }
@@ -61,12 +64,17 @@ func newChaosHarness(t *testing.T, entries []*cvebench.Entry) *chaosHarness {
 	h := &chaosHarness{
 		t: t, d: d, pool: entries,
 		pristine: make(map[string][]byte),
+		text:     d.System.Machine.Mem.Region(kernel.RegionText),
 		smram:    d.System.Machine.Mem.Region(smm.RegionSMRAM),
 		epc:      d.System.Machine.Mem.Region(sgx.RegionEPC),
 	}
-	if h.smram == nil || h.epc == nil {
-		t.Fatal("SMRAM/EPC regions not mapped")
+	if h.text == nil || h.smram == nil || h.epc == nil {
+		t.Fatal("kernel.text/SMRAM/EPC regions not mapped")
 	}
+	// COW snapshot of the pristine machine: the frame-diff invariant
+	// sweeps every byte of kernel.text against it, not just the
+	// functions each CVE names.
+	h.snap = d.System.Machine.Mem.Snapshot()
 	for _, e := range entries {
 		for _, fn := range e.Functions {
 			// Some Table I rows list functions the patch introduces;
@@ -188,6 +196,7 @@ func (h *chaosHarness) cycle(seed int64, entries []*cvebench.Entry) outcome {
 	for _, e := range entries {
 		h.requirePristine(seed, e, "after rollback")
 	}
+	h.requireTextClean(seed, "after rollback")
 	memX, data := sys.Handler.Cursors()
 	if memX != 0 || data != 0 {
 		t.Fatalf("seed %d: allocation cursors (%d,%d) not rewound by rollback", seed, memX, data)
@@ -221,7 +230,29 @@ func (h *chaosHarness) cycle(seed int64, entries []*cvebench.Entry) outcome {
 	for _, e := range entries {
 		h.requirePristine(seed, e, "after reset")
 	}
+	h.requireTextClean(seed, "after reset")
 	return out
+}
+
+// requireTextClean sweeps the entire kernel.text segment against the
+// boot-time snapshot at frame granularity — stronger than
+// requirePristine, which only covers the functions a CVE names. The
+// copy-on-write store skips pointer-identical frames, so the sweep
+// costs O(frames patched this cycle), not O(segment size).
+func (h *chaosHarness) requireTextClean(seed int64, when string) {
+	h.t.Helper()
+	dirty, err := h.d.System.Machine.Mem.DiffFramesIn(h.snap, h.text.Base, h.text.Size)
+	if err != nil {
+		h.t.Fatalf("seed %d: frame diff %s: %v", seed, when, err)
+	}
+	if len(dirty) != 0 {
+		addrs := make([]string, len(dirty))
+		for i, idx := range dirty {
+			addrs[i] = fmt.Sprintf("%#x", mem.FrameAddr(idx))
+		}
+		h.t.Fatalf("seed %d: kernel.text frames %v differ from pristine snapshot %s",
+			seed, addrs, when)
+	}
 }
 
 func (h *chaosHarness) requirePristine(seed int64, e *cvebench.Entry, when string) {

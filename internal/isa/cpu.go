@@ -62,6 +62,12 @@ type CPU struct {
 	Steps uint64
 
 	fetchBuf [LenMovi]byte
+
+	// fetchCache remembers the region the last instruction fetch
+	// resolved to. The fetch loop hits kernel.text almost every step,
+	// so this skips the region lookup on the hot path; mem validates
+	// the cache against mapping changes, so semantics are unchanged.
+	fetchCache mem.RegionCache
 }
 
 // NewCPU creates a CPU executing at the given privilege.
@@ -78,7 +84,7 @@ func (c *CPU) Restore(s State) { c.State = s }
 // Step fetches, decodes, and executes one instruction.
 func (c *CPU) Step() error {
 	// Fetch the opcode byte, then the instruction remainder.
-	if err := c.M.Fetch(c.Priv, c.RIP, c.fetchBuf[:1]); err != nil {
+	if err := c.M.FetchCached(c.Priv, c.RIP, c.fetchBuf[:1], &c.fetchCache); err != nil {
 		return &ExecError{RIP: c.RIP, Err: err}
 	}
 	n := Op(c.fetchBuf[0]).Length()
@@ -86,7 +92,7 @@ func (c *CPU) Step() error {
 		return &ExecError{RIP: c.RIP, Err: fmt.Errorf("invalid opcode %#02x", c.fetchBuf[0])}
 	}
 	if n > 1 {
-		if err := c.M.Fetch(c.Priv, c.RIP+1, c.fetchBuf[1:n]); err != nil {
+		if err := c.M.FetchCached(c.Priv, c.RIP+1, c.fetchBuf[1:n], &c.fetchCache); err != nil {
 			return &ExecError{RIP: c.RIP, Err: err}
 		}
 	}

@@ -157,9 +157,9 @@ func (k *Kernel) ReplaceImage(img *isa.Image) error {
 		return fmt.Errorf("replace: image exceeds segment bounds")
 	}
 	// Scrub the old text so stale code past the new image's end cannot
-	// execute by accident.
-	zero := make([]byte, TextRegionSize)
-	if err := k.M.Mem.Write(mem.PrivSMM, TextBase, zero); err != nil {
+	// execute by accident. Zero releases whole frames back to the
+	// sparse store instead of writing 4 MB of zeros.
+	if err := k.M.Mem.Zero(mem.PrivSMM, TextBase, TextRegionSize); err != nil {
 		return fmt.Errorf("replace: scrub: %w", err)
 	}
 	if err := k.loadImage(img); err != nil {

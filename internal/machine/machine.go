@@ -141,6 +141,34 @@ func (m *Machine) RestoreStates(states []isa.State) error {
 	return nil
 }
 
+// Snapshot is a whole-machine capture: physical memory (copy-on-write,
+// frame-granular) plus every vCPU's architectural state. It is what a
+// verification rig needs to prove a patch cycle left no residue.
+type Snapshot struct {
+	Mem    *mem.Snapshot
+	States []isa.State
+}
+
+// Snapshot captures memory and vCPU state. Like States, it is only
+// meaningful while the machine is paused or otherwise quiescent.
+// Memory is captured copy-on-write, so the cost is independent of how
+// much of physical memory is resident.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{Mem: m.Mem.Snapshot(), States: m.States()}
+}
+
+// RestoreSnapshot rewinds memory and vCPU state to the capture. The
+// snapshot stays valid and can be restored again.
+func (m *Machine) RestoreSnapshot(s *Snapshot) error {
+	if s == nil {
+		return errors.New("machine: nil snapshot")
+	}
+	if err := m.Mem.Restore(s.Mem); err != nil {
+		return err
+	}
+	return m.RestoreStates(s.States)
+}
+
 // callReq is one function-call session submitted to a vCPU.
 type callReq struct {
 	entry    uint64

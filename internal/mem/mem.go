@@ -10,12 +10,18 @@
 // (mem_RW, mem_W, mem_X) from the kernel's point of view. This package
 // enforces exactly those checks in software so that a forbidden access
 // faults the same way the hardware would.
+//
+// Storage is sparse: physical memory is backed by 64 KiB frames
+// allocated lazily on first write (see sparse.go), so constructing a
+// machine costs nothing proportional to its physical size, reads of
+// never-written memory observe zeros without allocating, and
+// copy-on-write snapshots share clean frames with the live store.
 package mem
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kshot/internal/faultinject"
 )
@@ -143,13 +149,18 @@ func (f *Fault) Error() string {
 }
 
 // Region is a contiguous range of physical memory with per-privilege
-// access permissions.
+// access permissions. Geometry (Name, Base, Size) is immutable after
+// Map; the permission table is updated atomically by SetPerms, so
+// readers on the access fast path never take a lock for it.
 type Region struct {
 	Name string
 	Base uint64
 	Size uint64
 
-	perms [numPriv]Perm
+	// perms packs the [numPriv]Perm table into one word (8 bits per
+	// level) so SetPerms can swap it atomically under concurrent
+	// accesses.
+	perms atomic.Uint64
 }
 
 // End returns the first address past the region.
@@ -164,7 +175,7 @@ func (r *Region) PermFor(p Priv) Perm {
 	if p <= 0 || int(p) >= numPriv {
 		return PermNone
 	}
-	return r.perms[p]
+	return Perm(r.perms.Load() >> (8 * uint(p)))
 }
 
 // Perms describes per-privilege permissions when creating or updating a
@@ -176,131 +187,29 @@ type Perms struct {
 	SMM     Perm
 }
 
-func (ps Perms) table() [numPriv]Perm {
-	var t [numPriv]Perm
-	t[PrivUser] = ps.User
-	t[PrivKernel] = ps.Kernel
-	t[PrivEnclave] = ps.Enclave
-	t[PrivSMM] = ps.SMM
-	return t
+func (ps Perms) pack() uint64 {
+	return uint64(ps.User)<<(8*uint(PrivUser)) |
+		uint64(ps.Kernel)<<(8*uint(PrivKernel)) |
+		uint64(ps.Enclave)<<(8*uint(PrivEnclave)) |
+		uint64(ps.SMM)<<(8*uint(PrivSMM))
 }
 
-// Physical is the machine's physical memory: a flat byte array overlaid
-// with access-controlled regions. The zero value is unusable; construct
-// with New.
-//
-// Physical is safe for concurrent use. All vCPUs, the SMM handler and
-// enclave threads share one Physical.
-type Physical struct {
-	mu      sync.RWMutex
-	data    []byte
-	regions []*Region // sorted by Base, non-overlapping
-
-	// fi, when non-nil, injects faults into non-SMM writes to the
-	// mem_W staging region (bit flips, access faults) for the chaos
-	// suite. Nil in production paths.
-	fi *faultinject.Set
+// regionTable is an immutable snapshot of the mapped regions. Map and
+// Unmap publish a fresh table (with a bumped epoch) via an atomic
+// pointer swap, so the access path reads it without locking and
+// RegionCache entries can be validated with a single epoch compare.
+type regionTable struct {
+	epoch  uint64
+	sorted []*Region // by Base, non-overlapping
+	byName map[string]*Region
 }
 
-// New creates a physical memory of the given size with no mapped
-// regions. Every access faults until regions are mapped.
-func New(size uint64) *Physical {
-	return &Physical{data: make([]byte, size)}
-}
-
-// Size returns the total physical memory size in bytes.
-func (m *Physical) Size() uint64 { return uint64(len(m.data)) }
-
-// Map adds a region. It returns an error if the range is out of bounds
-// or overlaps an existing region.
-func (m *Physical) Map(name string, base, size uint64, ps Perms) (*Region, error) {
-	if size == 0 {
-		return nil, fmt.Errorf("map %q: zero size", name)
-	}
-	if base+size < base || base+size > uint64(len(m.data)) {
-		return nil, fmt.Errorf("map %q: range [%#x,%#x) exceeds physical memory of %#x bytes",
-			name, base, base+size, len(m.data))
-	}
-	r := &Region{Name: name, Base: base, Size: size, perms: ps.table()}
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, other := range m.regions {
-		if base < other.End() && other.Base < r.End() {
-			return nil, fmt.Errorf("map %q: overlaps region %q [%#x,%#x)",
-				name, other.Name, other.Base, other.End())
-		}
-	}
-	m.regions = append(m.regions, r)
-	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
-	return r, nil
-}
-
-// Unmap removes the named region. Its memory contents are preserved but
-// become unreachable until remapped.
-func (m *Physical) Unmap(name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, r := range m.regions {
-		if r.Name == name {
-			m.regions = append(m.regions[:i], m.regions[i+1:]...)
-			return nil
-		}
-	}
-	return fmt.Errorf("unmap %q: no such region", name)
-}
-
-// Region returns the named region, or nil if absent.
-func (m *Physical) Region(name string) *Region {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for _, r := range m.regions {
-		if r.Name == name {
-			return r
-		}
-	}
-	return nil
-}
-
-// Regions returns a snapshot of all mapped regions in address order.
-func (m *Physical) Regions() []*Region {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]*Region, len(m.regions))
-	copy(out, m.regions)
-	return out
-}
-
-// SetPerms atomically replaces the permission table of the named
-// region. This models firmware/boot-time attribute changes and the
-// SMRAM lock; callers in the simulation are trusted code (boot or SMM).
-func (m *Physical) SetPerms(name string, ps Perms) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, r := range m.regions {
-		if r.Name == name {
-			r.perms = ps.table()
-			return nil
-		}
-	}
-	return fmt.Errorf("set perms %q: no such region", name)
-}
-
-// SetFaultInjector installs (or, with nil, removes) the fault
-// injection set consulted on helper writes into mem_W.
-func (m *Physical) SetFaultInjector(fi *faultinject.Set) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.fi = fi
-}
-
-// regionAt returns the region containing addr. Caller must hold mu.
-func (m *Physical) regionAt(addr uint64) *Region {
-	// Binary search over sorted, non-overlapping regions.
-	lo, hi := 0, len(m.regions)
+// at returns the region containing addr, by binary search.
+func (t *regionTable) at(addr uint64) *Region {
+	lo, hi := 0, len(t.sorted)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		r := m.regions[mid]
+		r := t.sorted[mid]
 		switch {
 		case addr < r.Base:
 			hi = mid
@@ -311,6 +220,189 @@ func (m *Physical) regionAt(addr uint64) *Region {
 		}
 	}
 	return nil
+}
+
+// Physical is the machine's physical memory: a sparse frame store
+// overlaid with access-controlled regions. The zero value is unusable;
+// construct with New.
+//
+// Physical is safe for concurrent use. All vCPUs, the SMM handler and
+// enclave threads share one Physical. Accesses to disjoint frames
+// proceed in parallel (locking is sharded by frame); accesses that
+// touch the same frame serialize, so the simulator itself stays
+// data-race free even when the simulated kernel races.
+type Physical struct {
+	size uint64
+
+	tab   atomic.Pointer[regionTable]
+	mapMu sync.Mutex // serializes Map/Unmap table swaps
+
+	// Sparse frame store; see sparse.go.
+	frames []atomic.Pointer[frame]
+	shards [lockShards]sync.RWMutex
+
+	// fi, when non-nil, injects faults into non-SMM writes to the
+	// mem_W staging region (bit flips, access faults) for the chaos
+	// suite. Nil in production paths.
+	fi atomic.Pointer[faultinject.Set]
+}
+
+// New creates a physical memory of the given size with no mapped
+// regions. Every access faults until regions are mapped. No backing
+// storage is allocated up front: frames materialize on first write.
+func New(size uint64) *Physical {
+	m := &Physical{
+		size:   size,
+		frames: make([]atomic.Pointer[frame], (size+FrameSize-1)>>FrameShift),
+	}
+	m.tab.Store(&regionTable{byName: map[string]*Region{}})
+	return m
+}
+
+// Size returns the total physical memory size in bytes.
+func (m *Physical) Size() uint64 { return m.size }
+
+// Map adds a region. It returns an error if the range is out of bounds,
+// overlaps an existing region, or reuses the name of a mapped region
+// (names key Unmap/Region/SetPerms, so they must be unique).
+func (m *Physical) Map(name string, base, size uint64, ps Perms) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("map %q: zero size", name)
+	}
+	if base+size < base || base+size > m.size {
+		return nil, fmt.Errorf("map %q: range [%#x,%#x) exceeds physical memory of %#x bytes",
+			name, base, base+size, m.size)
+	}
+	r := &Region{Name: name, Base: base, Size: size}
+	r.perms.Store(ps.pack())
+
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	tab := m.tab.Load()
+	if _, ok := tab.byName[name]; ok {
+		return nil, fmt.Errorf("map %q: region name already in use", name)
+	}
+	for _, other := range tab.sorted {
+		if base < other.End() && other.Base < r.End() {
+			return nil, fmt.Errorf("map %q: overlaps region %q [%#x,%#x)",
+				name, other.Name, other.Base, other.End())
+		}
+	}
+	// Publish a fresh table with r inserted in Base order.
+	pos := 0
+	for pos < len(tab.sorted) && tab.sorted[pos].Base < base {
+		pos++
+	}
+	sorted := make([]*Region, 0, len(tab.sorted)+1)
+	sorted = append(sorted, tab.sorted[:pos]...)
+	sorted = append(sorted, r)
+	sorted = append(sorted, tab.sorted[pos:]...)
+	m.tab.Store(&regionTable{
+		epoch:  tab.epoch + 1,
+		sorted: sorted,
+		byName: withRegion(tab.byName, r),
+	})
+	return r, nil
+}
+
+// Unmap removes the named region. Its memory contents are preserved but
+// become unreachable until remapped.
+func (m *Physical) Unmap(name string) error {
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	tab := m.tab.Load()
+	r, ok := tab.byName[name]
+	if !ok {
+		return fmt.Errorf("unmap %q: no such region", name)
+	}
+	sorted := make([]*Region, 0, len(tab.sorted)-1)
+	for _, other := range tab.sorted {
+		if other != r {
+			sorted = append(sorted, other)
+		}
+	}
+	byName := make(map[string]*Region, len(tab.byName)-1)
+	for n, other := range tab.byName {
+		if n != name {
+			byName[n] = other
+		}
+	}
+	m.tab.Store(&regionTable{epoch: tab.epoch + 1, sorted: sorted, byName: byName})
+	return nil
+}
+
+func withRegion(byName map[string]*Region, r *Region) map[string]*Region {
+	out := make(map[string]*Region, len(byName)+1)
+	for n, other := range byName {
+		out[n] = other
+	}
+	out[r.Name] = r
+	return out
+}
+
+// Region returns the named region, or nil if absent.
+func (m *Physical) Region(name string) *Region {
+	return m.tab.Load().byName[name]
+}
+
+// Regions returns a snapshot of all mapped regions in address order.
+func (m *Physical) Regions() []*Region {
+	tab := m.tab.Load()
+	out := make([]*Region, len(tab.sorted))
+	copy(out, tab.sorted)
+	return out
+}
+
+// SetPerms atomically replaces the permission table of the named
+// region. This models firmware/boot-time attribute changes and the
+// SMRAM lock; callers in the simulation are trusted code (boot or SMM).
+func (m *Physical) SetPerms(name string, ps Perms) error {
+	// mapMu keeps the name lookup stable against a concurrent Unmap of
+	// the same name; the permission swap itself is a single atomic
+	// store visible to in-flight accesses without any lock.
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	r, ok := m.tab.Load().byName[name]
+	if !ok {
+		return fmt.Errorf("set perms %q: no such region", name)
+	}
+	r.perms.Store(ps.pack())
+	return nil
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted on helper writes into mem_W.
+func (m *Physical) SetFaultInjector(fi *faultinject.Set) {
+	m.fi.Store(fi)
+}
+
+// validateSpan checks that every byte of [addr, addr+n) is mapped with
+// the permission the access needs, walking adjacent regions. It returns
+// the region containing addr on success. Partial effects never occur:
+// the whole span validates before any byte moves.
+func (m *Physical) validateSpan(tab *regionTable, priv Priv, kind Access, addr, n uint64) (*Region, error) {
+	r := tab.at(addr)
+	if r == nil {
+		return nil, &Fault{Priv: priv, Access: kind, Addr: addr}
+	}
+	if !r.PermFor(priv).allows(kind) {
+		return nil, &Fault{Priv: priv, Access: kind, Addr: addr, Region: r.Name}
+	}
+	if addr+n <= r.End() {
+		// Fast path: the span is contained in one region.
+		return r, nil
+	}
+	for cur := r.End(); cur < addr+n; {
+		next := tab.at(cur)
+		if next == nil {
+			return nil, &Fault{Priv: priv, Access: kind, Addr: cur}
+		}
+		if !next.PermFor(priv).allows(kind) {
+			return nil, &Fault{Priv: priv, Access: kind, Addr: cur, Region: next.Name}
+		}
+		cur = next.End()
+	}
+	return r, nil
 }
 
 // access validates and performs a read (dst != nil) or write
@@ -324,43 +416,25 @@ func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) 
 	if n == 0 {
 		return nil
 	}
-	if addr+n < addr || addr+n > uint64(len(m.data)) {
+	if addr+n < addr || addr+n > m.size {
 		return &Fault{Priv: priv, Access: kind, Addr: addr}
 	}
 
-	// Reads share the lock; writes take it exclusively so concurrent
-	// vCPU accesses to overlapping bytes serialize per access (the
-	// simulated kernel can still exhibit instruction-level races, but
-	// the simulator itself stays data-race free).
-	if src != nil {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-	} else {
-		m.mu.RLock()
-		defer m.mu.RUnlock()
-	}
-
-	// Validate the whole span first so partial effects never occur.
-	for cur := addr; cur < addr+n; {
-		r := m.regionAt(cur)
-		if r == nil {
-			return &Fault{Priv: priv, Access: kind, Addr: cur}
-		}
-		if !r.PermFor(priv).allows(kind) {
-			return &Fault{Priv: priv, Access: kind, Addr: cur, Region: r.Name}
-		}
-		cur = r.End()
+	tab := m.tab.Load()
+	r, err := m.validateSpan(tab, priv, kind, addr, n)
+	if err != nil {
+		return err
 	}
 
 	// Fault injection: the helper's deposits into the mem_W staging
 	// region are the hand-off buffer KShot must survive losing. SMM's
 	// own accesses are exempt — the handler is trusted firmware.
-	if src != nil && priv != PrivSMM && m.fi != nil {
-		if r := m.regionAt(addr); r != nil && r.Name == RegionMemW {
-			if m.fi.Fire(faultinject.MemWFault) {
+	if src != nil && priv != PrivSMM && r.Name == RegionMemW {
+		if fi := m.fi.Load(); fi != nil {
+			if fi.Fire(faultinject.MemWFault) {
 				return &Fault{Priv: priv, Access: kind, Addr: addr, Region: r.Name}
 			}
-			if f, ok := m.fi.Take(faultinject.MemWCorrupt); ok {
+			if f, ok := fi.Take(faultinject.MemWCorrupt); ok {
 				corrupted := append([]byte(nil), src...)
 				f.FlipBit(corrupted)
 				src = corrupted
@@ -369,9 +443,9 @@ func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) 
 	}
 
 	if dst != nil {
-		copy(dst, m.data[addr:addr+n])
+		m.readFrames(addr, dst)
 	} else {
-		copy(m.data[addr:addr+n], src)
+		m.writeFrames(addr, src)
 	}
 	return nil
 }
@@ -391,6 +465,73 @@ func (m *Physical) Write(priv Priv, addr uint64, src []byte) error {
 // interpreter's instruction fetch.
 func (m *Physical) Fetch(priv Priv, addr uint64, dst []byte) error {
 	return m.access(priv, Execute, addr, dst, nil)
+}
+
+// RegionCache is a caller-owned single-entry cache for region lookup,
+// used by FetchCached. Each vCPU keeps one: the interpreter's fetch
+// loop hits the same region (kernel.text) almost every instruction, so
+// the binary search and span walk are skipped while the cached region
+// still covers the access and no Map/Unmap has occurred since (epoch
+// compare). Permissions are re-read on every use, so SetPerms takes
+// effect immediately even on cache hits. The zero value is an empty
+// cache. A RegionCache must not be shared between goroutines.
+type RegionCache struct {
+	epoch uint64
+	r     *Region
+}
+
+// FetchCached is Fetch with a region-lookup cache. Semantics are
+// identical to Fetch; only the lookup cost differs.
+func (m *Physical) FetchCached(priv Priv, addr uint64, dst []byte, c *RegionCache) error {
+	n := uint64(len(dst))
+	if n == 0 {
+		return nil
+	}
+	if r := c.r; r != nil && addr >= r.Base && addr+n >= addr && addr+n <= r.End() {
+		tab := m.tab.Load()
+		if tab.epoch == c.epoch {
+			if !r.PermFor(priv).allows(Execute) {
+				return &Fault{Priv: priv, Access: Execute, Addr: addr, Region: r.Name}
+			}
+			m.readFrames(addr, dst)
+			return nil
+		}
+	}
+	if err := m.access(priv, Execute, addr, dst, nil); err != nil {
+		return err
+	}
+	tab := m.tab.Load()
+	if r := tab.at(addr); r != nil && addr+n <= r.End() {
+		c.r, c.epoch = r, tab.epoch
+	}
+	return nil
+}
+
+// Zero clears n bytes at addr on behalf of priv. It validates exactly
+// like a Write of n zero bytes, but wholly covered frames are released
+// back to the sparse store instead of being cleared byte by byte, so
+// scrubbing a large range (a KUP-style whole-kernel replacement) is
+// cheap and shrinks resident memory.
+func (m *Physical) Zero(priv Priv, addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if addr+n < addr || addr+n > m.size {
+		return &Fault{Priv: priv, Access: Write, Addr: addr}
+	}
+	tab := m.tab.Load()
+	r, err := m.validateSpan(tab, priv, Write, addr, n)
+	if err != nil {
+		return err
+	}
+	if r.Name == RegionMemW && priv != PrivSMM && m.fi.Load() != nil {
+		// Keep injection semantics exactly those of an equivalent
+		// Write; the chaos suite never exercises Zero on mem_W, but
+		// correctness must not depend on that.
+		return m.Write(priv, addr, make([]byte, n))
+	}
+	m.zeroFrames(addr, n)
+	return nil
 }
 
 // ReadU64 reads a little-endian 64-bit value.

@@ -1,0 +1,310 @@
+package mem
+
+import "bytes"
+
+// Sparse frame store. Physical memory is split into fixed 64 KiB
+// frames, materialized on first write; a nil frame slot reads as
+// zeros. Frame access is guarded by sharded rwmutexes (shard = frame
+// index mod lockShards) so concurrent vCPUs touching disjoint frames
+// never serialize on a global lock, while accesses to the same frame
+// still serialize and keep the simulator data-race free.
+//
+// Snapshots are copy-on-write at frame granularity: Snapshot marks
+// every live frame shared and records its pointer; the next write to a
+// shared frame clones it first. A frame pointer that still matches the
+// snapshot therefore proves the frame's bytes are untouched, which is
+// what lets DiffFrames find dirty memory without comparing (or even
+// allocating) the clean majority.
+
+const (
+	// FrameShift is log2 of the frame size.
+	FrameShift = 16
+	// FrameSize is the allocation and copy-on-write granule of the
+	// sparse store.
+	FrameSize = 1 << FrameShift
+
+	// lockShards is the number of frame-lock shards. It must be a
+	// power of two no larger than 64 (shard sets are tracked in a
+	// uint64 bitmask).
+	lockShards = 64
+)
+
+// frame is one 64 KiB unit of backing storage.
+type frame struct {
+	// shared is set while at least one snapshot references this
+	// frame; writers must clone instead of mutating in place. It is
+	// only read and written under the frame's shard lock (Snapshot
+	// and Restore hold all shards).
+	shared bool
+	data   [FrameSize]byte
+}
+
+// shardMask returns the bitmask of lock shards covering frames
+// [first, last].
+func shardMask(first, last uint64) uint64 {
+	if last-first+1 >= lockShards {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for f := first; f <= last; f++ {
+		mask |= 1 << (f & (lockShards - 1))
+	}
+	return mask
+}
+
+// lockMask acquires the shards in mask, in ascending shard order (the
+// global lock order that makes multi-shard holders deadlock-free).
+func (m *Physical) lockMask(mask uint64, write bool) {
+	for i := 0; i < lockShards; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if write {
+			m.shards[i].Lock()
+		} else {
+			m.shards[i].RLock()
+		}
+	}
+}
+
+func (m *Physical) unlockMask(mask uint64, write bool) {
+	for i := 0; i < lockShards; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if write {
+			m.shards[i].Unlock()
+		} else {
+			m.shards[i].RUnlock()
+		}
+	}
+}
+
+// frameSpan iterates the frames overlapped by [addr, addr+n) and calls
+// fn with the frame index and the intersection [off, off+len) relative
+// to the frame base, plus the matching slice of buf.
+func frameSpan(addr uint64, buf []byte, fn func(idx, off uint64, part []byte)) {
+	n := uint64(len(buf))
+	for cur := addr; cur < addr+n; {
+		idx := cur >> FrameShift
+		end := (idx + 1) << FrameShift
+		if end > addr+n {
+			end = addr + n
+		}
+		fn(idx, cur-(idx<<FrameShift), buf[cur-addr:end-addr])
+		cur = end
+	}
+}
+
+// readFrames copies [addr, addr+len(dst)) into dst. The span must be
+// pre-validated and in bounds.
+func (m *Physical) readFrames(addr uint64, dst []byte) {
+	first := addr >> FrameShift
+	last := (addr + uint64(len(dst)) - 1) >> FrameShift
+	mask := shardMask(first, last)
+	m.lockMask(mask, false)
+	frameSpan(addr, dst, func(idx, off uint64, part []byte) {
+		if fr := m.frames[idx].Load(); fr != nil {
+			copy(part, fr.data[off:])
+		} else {
+			clear(part)
+		}
+	})
+	m.unlockMask(mask, false)
+}
+
+// writeFrames copies src to [addr, addr+len(src)), materializing or
+// cloning frames as needed. The span must be pre-validated and in
+// bounds. Holding every covered shard for the whole span keeps
+// multi-frame writes atomic with respect to concurrent readers, like
+// the single-mutex store this replaces.
+func (m *Physical) writeFrames(addr uint64, src []byte) {
+	first := addr >> FrameShift
+	last := (addr + uint64(len(src)) - 1) >> FrameShift
+	mask := shardMask(first, last)
+	m.lockMask(mask, true)
+	frameSpan(addr, src, func(idx, off uint64, part []byte) {
+		fr := m.frames[idx].Load()
+		switch {
+		case fr == nil:
+			fr = new(frame)
+			m.frames[idx].Store(fr)
+		case fr.shared:
+			cl := new(frame)
+			cl.data = fr.data
+			fr = cl
+			m.frames[idx].Store(fr)
+		}
+		copy(fr.data[off:], part)
+	})
+	m.unlockMask(mask, true)
+}
+
+// zeroFrames clears [addr, addr+n): wholly covered frames are released
+// (a nil slot reads as zeros), partially covered edge frames are
+// cleared in place (after a copy-on-write clone if shared).
+func (m *Physical) zeroFrames(addr, n uint64) {
+	first := addr >> FrameShift
+	last := (addr + n - 1) >> FrameShift
+	mask := shardMask(first, last)
+	m.lockMask(mask, true)
+	for cur := addr; cur < addr+n; {
+		idx := cur >> FrameShift
+		base := idx << FrameShift
+		end := base + FrameSize
+		if cur == base && end <= addr+n {
+			m.frames[idx].Store(nil)
+			cur = end
+			continue
+		}
+		if end > addr+n {
+			end = addr + n
+		}
+		fr := m.frames[idx].Load()
+		if fr != nil {
+			if fr.shared {
+				cl := new(frame)
+				cl.data = fr.data
+				fr = cl
+				m.frames[idx].Store(fr)
+			}
+			clear(fr.data[cur-base : end-base])
+		}
+		cur = end
+	}
+	m.unlockMask(mask, true)
+}
+
+// ResidentBytes returns the bytes of backing storage currently
+// materialized — the sparse store's actual footprint, as opposed to
+// Size(), the simulated physical size.
+func (m *Physical) ResidentBytes() uint64 {
+	var n uint64
+	for i := range m.frames {
+		mu := &m.shards[i&(lockShards-1)]
+		mu.RLock()
+		if m.frames[i].Load() != nil {
+			n += FrameSize
+		}
+		mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot is a frame-granular copy-on-write capture of a Physical's
+// contents. Taking one is O(frames) pointer work — no memory is
+// copied; the store copies a frame only when it is next written.
+// Snapshots stay valid until the Physical is garbage; Restore and
+// DiffFrames accept only snapshots of the same Physical.
+type Snapshot struct {
+	m      *Physical
+	frames []*frame // nil entries are all-zero frames
+}
+
+// Snapshot captures the current memory contents copy-on-write. It does
+// not capture the region table: mappings and permissions evolve
+// independently of contents, exactly as physical RAM is independent of
+// attribute programming.
+func (m *Physical) Snapshot() *Snapshot {
+	s := &Snapshot{m: m, frames: make([]*frame, len(m.frames))}
+	m.lockMask(^uint64(0), true)
+	for i := range m.frames {
+		fr := m.frames[i].Load()
+		if fr != nil {
+			fr.shared = true
+		}
+		s.frames[i] = fr
+	}
+	m.unlockMask(^uint64(0), true)
+	return s
+}
+
+// Restore rewinds memory contents to the snapshot. The snapshot
+// remains valid (and copy-on-write protected), so the same snapshot
+// can be restored repeatedly — the reset step of a chaos cycle.
+func (m *Physical) Restore(s *Snapshot) error {
+	if s == nil || s.m != m {
+		return errSnapshotForeign
+	}
+	m.lockMask(^uint64(0), true)
+	for i, fr := range s.frames {
+		if fr != nil {
+			fr.shared = true
+		}
+		m.frames[i].Store(fr)
+	}
+	m.unlockMask(^uint64(0), true)
+	return nil
+}
+
+// DiffFrames returns the indices of frames whose bytes differ from the
+// snapshot, in ascending order. Frames still sharing the snapshot's
+// backing pointer are equal by construction and are skipped without a
+// byte compare; only frames written since the snapshot (or written
+// before it and zeroed since, etc.) are compared content-wise, so a
+// pristine-byte sweep costs O(dirty), not O(physical size). Use
+// FrameAddr to map an index to its physical base address.
+func (m *Physical) DiffFrames(s *Snapshot) ([]uint64, error) {
+	return m.diffFrames(s, 0, m.size)
+}
+
+// DiffFramesIn is DiffFrames restricted to frames overlapping
+// [base, base+size).
+func (m *Physical) DiffFramesIn(s *Snapshot, base, size uint64) ([]uint64, error) {
+	return m.diffFrames(s, base, size)
+}
+
+var errSnapshotForeign = errSnapshot{}
+
+type errSnapshot struct{}
+
+func (errSnapshot) Error() string { return "mem: snapshot belongs to a different Physical" }
+
+func (m *Physical) diffFrames(s *Snapshot, base, size uint64) ([]uint64, error) {
+	if s == nil || s.m != m {
+		return nil, errSnapshotForeign
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	first := base >> FrameShift
+	last := (base + size - 1) >> FrameShift
+	if last >= uint64(len(m.frames)) {
+		last = uint64(len(m.frames)) - 1
+	}
+	var dirty []uint64
+	m.lockMask(^uint64(0), false)
+	for idx := first; idx <= last; idx++ {
+		cur := m.frames[idx].Load()
+		old := s.frames[idx]
+		if cur == old {
+			continue // shared frames never mutate, so pointer-equal means byte-equal
+		}
+		if !framesEqual(cur, old) {
+			dirty = append(dirty, idx)
+		}
+	}
+	m.unlockMask(^uint64(0), false)
+	return dirty, nil
+}
+
+// framesEqual compares two frames, treating nil as all zeros.
+func framesEqual(a, b *frame) bool {
+	switch {
+	case a == nil && b == nil:
+		return true
+	case a == nil:
+		return isZero(b.data[:])
+	case b == nil:
+		return isZero(a.data[:])
+	default:
+		return bytes.Equal(a.data[:], b.data[:])
+	}
+}
+
+var zeroFrameData [FrameSize]byte
+
+func isZero(b []byte) bool { return bytes.Equal(b, zeroFrameData[:]) }
+
+// FrameAddr returns the physical base address of frame idx.
+func FrameAddr(idx uint64) uint64 { return idx << FrameShift }

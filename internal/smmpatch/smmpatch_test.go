@@ -355,6 +355,54 @@ func TestRollbackOrderEnforced(t *testing.T) {
 	}
 }
 
+func TestRollbackVerifiedByFrameDiff(t *testing.T) {
+	// Frame-granular rollback verification: a COW snapshot taken
+	// before patching must show dirty kernel.text frames while the
+	// patch is live and zero dirty frames after rollback — the whole
+	// 4 MB segment checked, not just the patched function.
+	r := newRig(t)
+	text := r.m.Mem.Region(kernel.RegionText)
+	if text == nil {
+		t.Fatal("kernel.text not mapped")
+	}
+	snap := r.m.Mem.Snapshot()
+
+	r.sealPackage(t, r.wirePatch(t, "RIG-1"))
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := r.m.Mem.DiffFramesIn(snap, text.Base, text.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) == 0 {
+		t.Fatal("applied patch left no dirty text frames")
+	}
+
+	wire, err := patch.MarshalRollback("RIG-1", "4.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sealPackage(t, wire)
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err = r.m.Mem.DiffFramesIn(snap, text.Base, text.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		addrs := make([]uint64, len(dirty))
+		for i, idx := range dirty {
+			addrs[i] = mem.FrameAddr(idx)
+		}
+		t.Fatalf("rollback left dirty text frames at %#x", addrs)
+	}
+	if v, err := r.k.Call(0, "gadget", 0xdead); err != nil || v != 99 {
+		t.Fatalf("post-rollback gadget = %d, %v (want original vulnerable behavior)", v, err)
+	}
+}
+
 func TestIntrospectRepairsTrampoline(t *testing.T) {
 	r := newRig(t)
 	r.sealPackage(t, r.wirePatch(t, "RIG-1"))
