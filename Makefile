@@ -42,7 +42,7 @@ benchsmoke:
 # runs; see cmd/kshot-bench -json.
 BENCHJSON ?= bench.json
 benchjson:
-	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -iters 1 -o $(BENCHJSON) > /dev/null
+	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -iters 1 -o $(BENCHJSON) > /dev/null
 
 # Statement coverage with a ratchet: prints the per-package breakdown
 # and fails if the total drops below COVERMIN.
@@ -55,12 +55,13 @@ cover:
 			printf "coverage %.1f%% is below the %.1f%% ratchet\n", total, min; exit 1 } \
 		printf "coverage %.1f%% >= %.1f%% ratchet\n", total, min }'
 
-# Short coverage-guided fuzzing pass over both fuzz targets, starting
+# Short coverage-guided fuzzing pass over every fuzz target, starting
 # from the committed seed corpora. CI runs this as a smoke test; bump
 # FUZZTIME for a real campaign.
 fuzz:
 	$(GO) test -fuzz=FuzzAsmDisasmRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/isa/
 	$(GO) test -fuzz=FuzzKSBTParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/smmpatch/
 	$(GO) test -fuzz=FuzzSparseMemAccess -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
+	$(GO) test -fuzz=FuzzServerFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/patchserver/
 
 check: build vet test

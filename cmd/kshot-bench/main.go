@@ -50,6 +50,8 @@ func run(args []string, stdout io.Writer) error {
 		pipeline = fs.Bool("pipeline", false, "pipelined ApplyAll vs serial Apply")
 		overhead = fs.Bool("overhead", false, "whole-system overhead")
 		trace    = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
+		fleet    = fs.Bool("fleet", false, "fleet distribution: cold vs warm build-cache delivery")
+		clients  = fs.Int("clients", 16, "fleet size for -fleet")
 		iters    = fs.Int("iters", 3, "repetitions per measurement")
 		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
 		batch    = fs.Int("batch", 8, "batch size for -pipeline")
@@ -73,10 +75,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace
+	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet
 	if *all || !selected {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace =
-			true, true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet =
+			true, true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	// In JSON mode, data-bearing experiments accumulate here and are
@@ -233,6 +235,24 @@ func run(args []string, stdout io.Writer) error {
 			if err := evalharness.RenderPhaseReport(out, b); err != nil {
 				return err
 			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *fleet {
+		progress("running fleet distribution (cold vs warm cache, %d clients, %d rounds)...\n", *clients, *iters)
+		fr, err := evalharness.RunFleetBench(*clients, *iters)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			results["fleet"] = fr
+		} else {
+			fmt.Fprintf(out, "Fleet distribution (%d clients, one CVE, real TCP loopback):\n", fr.Clients)
+			fmt.Fprintf(out, "  cold cache: %v per request (every wave rebuilds both kernels)\n", fr.ColdPer)
+			fmt.Fprintf(out, "  warm cache: %v per request (cached artifact, per-session encryption only)\n", fr.WarmPer)
+			fmt.Fprintf(out, "  speedup: %.1fx; kernel builds: %d for %d requests served\n",
+				fr.Speedup, fr.Builds, fr.Requests)
 			fmt.Fprintln(out)
 		}
 	}

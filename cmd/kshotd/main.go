@@ -61,6 +61,7 @@ func run(args []string) error {
 	}
 
 	addr := *server
+	var standaloneSrv *patchserver.Server
 	if *standalone {
 		srv, err := patchserver.NewServer("127.0.0.1:0", cvebench.TreeProviderFor(entries...))
 		if err != nil {
@@ -70,6 +71,7 @@ func run(args []string) error {
 		for _, e := range entries {
 			srv.RegisterPatch(e.SourcePatch())
 		}
+		standaloneSrv = srv
 		addr = srv.Addr()
 		fmt.Printf("standalone patch server on %s\n", addr)
 	}
@@ -93,6 +95,11 @@ func run(args []string) error {
 	if *obsAddr != "" {
 		hooks = obs.NewHooks(0, nil)
 		sys.SetObserver(hooks)
+		if standaloneSrv != nil {
+			// Server-side cache/connection metrics land in the same
+			// registry as the target's pipeline metrics.
+			standaloneSrv.SetObserver(hooks)
+		}
 		ln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			return fmt.Errorf("obs listener: %w", err)

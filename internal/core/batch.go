@@ -110,7 +110,7 @@ func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOptio
 	fetchers := make(chan *patchserver.Client, poolSize)
 	var dialed []*patchserver.Client
 	for i := 0; i < poolSize; i++ {
-		if c, err := patchserver.Dial(s.serverAddr); err == nil {
+		if c, err := patchserver.Dial(s.serverAddr, s.dialOptions()...); err == nil {
 			if _, err := c.HelloWithAttestation(s.info, s.meas, s.attKey); err == nil {
 				c.SetFaultInjector(s.fi)
 				c.SetWallClock(s.wall)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"kshot/internal/faultinject"
 	"kshot/internal/kcrypto"
@@ -68,6 +69,17 @@ type Options struct {
 	// (or returning into) some vCPU are refused with ErrTargetActive
 	// and can be retried.
 	CheckActiveness bool
+
+	// DialRetries allows extra TCP connect attempts to the patch
+	// server with exponential backoff, and RequestRetries allows
+	// reconnect-and-replay of a transport-failed request burst (safe
+	// here because the system's hellos are attested, so a reconnect
+	// converges on the same channel key). RetryBackoff is the base
+	// delay, doubling per attempt (patchserver.DefaultRetryBackoff
+	// when zero). The backoff runs on the system's wall clock.
+	DialRetries    int
+	RequestRetries int
+	RetryBackoff   time.Duration
 }
 
 // StageTimes reports the virtual time each pipeline stage consumed for
@@ -101,6 +113,11 @@ type System struct {
 	serverAddr string
 	meas       sgx.Measurement
 	attKey     []byte
+
+	// Client resilience knobs (see Options).
+	dialRetries    int
+	requestRetries int
+	retryBackoff   time.Duration
 
 	helperPriv mem.Priv
 
@@ -203,7 +220,14 @@ func NewSystem(opts Options) (*System, error) {
 		Ftrace:  tree.Config().Ftrace,
 		Inline:  tree.Config().Inline,
 	}
-	client, err := patchserver.Dial(opts.ServerAddr)
+	dialOpts := []patchserver.DialOption{
+		patchserver.WithDialRetries(opts.DialRetries),
+		patchserver.WithRequestRetries(opts.RequestRetries),
+	}
+	if opts.RetryBackoff > 0 {
+		dialOpts = append(dialOpts, patchserver.WithRetryBackoff(opts.RetryBackoff))
+	}
+	client, err := patchserver.Dial(opts.ServerAddr, dialOpts...)
 	if err != nil {
 		m.Stop()
 		return nil, err
@@ -266,6 +290,11 @@ func NewSystem(opts Options) (*System, error) {
 		serverAddr: opts.ServerAddr,
 		meas:       meas,
 		attKey:     attKey,
+
+		dialRetries:    opts.DialRetries,
+		requestRetries: opts.RequestRetries,
+		retryBackoff:   opts.RetryBackoff,
+
 		helperPriv: mem.PrivUser,
 	}
 	// Bootstrap the SMM channel key.
@@ -324,6 +353,30 @@ func (s *System) wireFaultObserver() {
 func (s *System) SetWallClock(wc timing.WallClock) {
 	s.wall = wc
 	s.client.SetWallClock(wc)
+}
+
+// dialOptions builds the options for an extra attested patch-server
+// connection: the system's retry knobs plus its current hooks, so a
+// pool connection's dial-path faults and retry backoff run under the
+// same injected set and clock as the boot-time client.
+func (s *System) dialOptions() []patchserver.DialOption {
+	opts := []patchserver.DialOption{
+		patchserver.WithDialRetries(s.dialRetries),
+		patchserver.WithRequestRetries(s.requestRetries),
+	}
+	if s.retryBackoff > 0 {
+		opts = append(opts, patchserver.WithRetryBackoff(s.retryBackoff))
+	}
+	if s.fi != nil {
+		opts = append(opts, patchserver.WithClientFaultInjector(s.fi))
+	}
+	if s.wall != nil {
+		opts = append(opts, patchserver.WithClientWallClock(s.wall))
+	}
+	if s.obs != nil {
+		opts = append(opts, patchserver.WithClientObserver(s.obs))
+	}
+	return opts
 }
 
 // ecall enters the preparation enclave, transparently recovering from

@@ -1,0 +1,127 @@
+package evalharness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"kshot/internal/cvebench"
+	"kshot/internal/kcrypto"
+	"kshot/internal/patchserver"
+	"kshot/internal/sgx"
+	"kshot/internal/sgxprep"
+)
+
+// FleetResult is the fleet-distribution experiment: per-request patch
+// delivery cost with the server's build cache cold versus warm, plus
+// the deduplication witness (kernel builds performed vs requests
+// served). Durations are wall-clock nanoseconds — this experiment
+// measures the real server, not the virtual timing model.
+type FleetResult struct {
+	Clients  int           `json:"clients"`
+	Requests int           `json:"requests"`
+	Builds   uint64        `json:"builds"`
+	ColdPer  time.Duration `json:"cold_per_request_ns"`
+	WarmPer  time.Duration `json:"warm_per_request_ns"`
+	Speedup  float64       `json:"speedup"`
+}
+
+// RunFleetBench starts a loopback patch server and a fleet of clients,
+// then measures per-request delivery cost for one CVE with the cache
+// cold (every wave pays the double kernel build) and warm (waves hit
+// the cached artifact). rounds is how many request waves each phase
+// averages over.
+func RunFleetBench(clients, rounds int) (*FleetResult, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	const cve = "CVE-2014-0196"
+	e, ok := cvebench.Get(cve)
+	if !ok {
+		return nil, fmt.Errorf("unknown CVE %s", cve)
+	}
+	srv, err := patchserver.NewServer("127.0.0.1:0", cvebench.TreeProviderFor(e))
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	srv.RegisterPatch(e.SourcePatch())
+
+	info := patchserver.OSInfo{Version: "4.4", Ftrace: true, Inline: true}
+	meas := sgx.MeasureIdentity(sgxprep.Identity(info.Version))
+	conns := make([]*patchserver.Client, clients)
+	keys := make([][]byte, clients)
+	for i := range conns {
+		c, err := patchserver.Dial(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		key, err := c.Hello(info, meas)
+		if err != nil {
+			return nil, err
+		}
+		conns[i], keys[i] = c, key
+	}
+
+	wave := func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(conns))
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c *patchserver.Client) {
+				defer wg.Done()
+				blob, err := c.FetchPatch(context.Background(), cve)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Decrypt to prove the per-session key still matches.
+				sess, err := kcrypto.NewSession(keys[i], nil)
+				if err == nil {
+					_, err = sess.Decrypt(blob)
+				}
+				if err != nil {
+					errs <- err
+				}
+			}(i, c)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+
+	res := &FleetResult{Clients: clients}
+
+	// Cold: flush before every wave so each wave pays exactly one build
+	// (concurrent requests within the wave still coalesce — that is the
+	// fleet behavior being measured).
+	coldStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		srv.FlushCache()
+		if err := wave(); err != nil {
+			return nil, fmt.Errorf("cold wave: %w", err)
+		}
+	}
+	res.ColdPer = time.Since(coldStart) / time.Duration(rounds*clients)
+
+	// Warm: the artifact stays cached across waves.
+	warmStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := wave(); err != nil {
+			return nil, fmt.Errorf("warm wave: %w", err)
+		}
+	}
+	res.WarmPer = time.Since(warmStart) / time.Duration(rounds*clients)
+
+	res.Requests = 2 * rounds * clients
+	res.Builds = srv.Builds()
+	if res.WarmPer > 0 {
+		res.Speedup = float64(res.ColdPer) / float64(res.WarmPer)
+	}
+	return res, nil
+}

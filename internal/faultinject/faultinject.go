@@ -55,6 +55,15 @@ const (
 	// FetchDelay injects extra latency into a fetch call (an induced
 	// timeout when the caller's context expires first).
 	FetchDelay Point = "patchserver.fetch.delay"
+	// DialError fails one client connect attempt (server unreachable,
+	// transient network failure) — the dial-retry path's fault.
+	DialError Point = "patchserver.dial.error"
+	// AcceptStall wedges the server's accept loop for the injected
+	// duration (slow or contended frontend).
+	AcceptStall Point = "patchserver.accept.stall"
+	// BuildCacheBypass drops the build-cache entry for the requested
+	// artifact, forcing a full rebuild (cache corruption, cold restart).
+	BuildCacheBypass Point = "patchserver.cache.bypass"
 
 	// PipelineStall stalls a fetch worker before it issues its call.
 	PipelineStall Point = "pipeline.stall"
@@ -70,6 +79,7 @@ func Points() []Point {
 		SMMRefuse, SMMBatchAbort,
 		SGXECallFail, SGXDestroy,
 		FetchError, FetchTruncate, FetchDelay,
+		DialError, AcceptStall, BuildCacheBypass,
 		PipelineStall, PipelineCancel,
 	}
 }

@@ -78,14 +78,27 @@ const (
 	CtrRetries     = "pipeline.retries"
 	CtrDegraded    = "pipeline.degraded"
 
+	// Fleet-distribution metrics (patch server build cache + connection
+	// hygiene, client dial retries).
+	CtrCacheHits      = "patchserver.cache.hits"
+	CtrCacheMisses    = "patchserver.cache.misses"
+	CtrCacheCoalesced = "patchserver.cache.coalesced"
+	CtrCacheEvicted   = "patchserver.cache.evicted"
+	CtrBuilds         = "patchserver.builds"
+	CtrConnAccepted   = "patchserver.conns.accepted"
+	CtrConnRefused    = "patchserver.conns.refused"
+	CtrConnLive       = "patchserver.conns.live"
+	CtrDialRetries    = "patchserver.dial.retries"
+
 	// FaultPrefix prefixes one counter per fired fault-injection point
 	// (e.g. "fault.smm.refuse").
 	FaultPrefix = "fault."
 
-	HistSMIPause  = "smi.pause_us"      // histogram: OS pause per SMI, µs
-	HistBatchSize = "batch.size"        // histogram: members per delivered batch
-	HistAttempts  = "patch.attempts"    // histogram: delivery attempts per patch
-	HistDowntime  = "patch.downtime_us" // histogram: per-patch SMM downtime, µs
+	HistSMIPause     = "smi.pause_us"         // histogram: OS pause per SMI, µs
+	HistBatchSize    = "batch.size"           // histogram: members per delivered batch
+	HistAttempts     = "patch.attempts"       // histogram: delivery attempts per patch
+	HistDowntime     = "patch.downtime_us"    // histogram: per-patch SMM downtime, µs
+	HistBuildLatency = "patchserver.build_us" // histogram: double kernel build + diff, µs
 )
 
 // DefaultTraceCapacity is the event-log size commands use unless told

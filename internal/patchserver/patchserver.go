@@ -8,6 +8,17 @@
 // target's status reports let the server detect stalled patch
 // deployments (the DoS-detection handshake of §V-D).
 //
+// The server is built to serve fleets, not single targets: built
+// artifacts are cached in a bounded LRU keyed by (version, build
+// knobs, CVE) with single-flight deduplication, so N identical targets
+// requesting the same CVE trigger exactly one double kernel build
+// while per-session encryption stays per-client; connections carry
+// idle deadlines and an optional max-concurrency gate with accept
+// backpressure; and Drain offers a graceful stop (quit accepting,
+// finish in-flight responses, then close). The client side matches
+// with context-aware dial/request retry over timing.WallClock and
+// per-operation I/O deadlines.
+//
 // The wire protocol is length-framed gob over TCP (stdlib net).
 package patchserver
 
@@ -22,6 +33,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kshot/internal/faultinject"
@@ -85,14 +97,96 @@ type response struct {
 // the distro vendor's copy, which must match what the target runs.
 type TreeProvider func(version string) (*kernel.SourceTree, error)
 
+// Server tuning defaults.
+const (
+	// DefaultIdleTimeout bounds how long a connection may sit between
+	// requests (and how long one response write may take) before the
+	// server reclaims it. A connected-but-silent client therefore costs
+	// a goroutine for at most this long.
+	DefaultIdleTimeout = 2 * time.Minute
+
+	// DefaultCacheCapacity is the build-cache entry bound: distinct
+	// (version, ftrace, inline, CVE) artifacts retained at once.
+	DefaultCacheCapacity = 64
+)
+
+// serverConfig collects the ServerOption-tunable knobs.
+type serverConfig struct {
+	idleTimeout   time.Duration
+	maxConns      int
+	acceptWait    time.Duration
+	cacheCapacity int
+	fi            *faultinject.Set
+	obs           *obs.Hooks
+}
+
+// ServerOption tunes a Server.
+type ServerOption func(*serverConfig)
+
+// WithIdleTimeout sets the per-connection idle deadline (zero or
+// negative disables it — connections may then pin their handler
+// goroutine forever; see DefaultIdleTimeout).
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithMaxConns gates the server at n concurrently served connections.
+// When the gate is full the accept loop stops accepting (backpressure
+// through the listen backlog) until a slot frees, or — if an accept
+// wait is configured — sheds the next connection with a counted
+// refusal once the wait expires. n <= 0 means unlimited.
+func WithMaxConns(n int) ServerOption {
+	return func(c *serverConfig) { c.maxConns = n }
+}
+
+// WithAcceptWait bounds how long a full connection gate holds the
+// accept loop before the server actively refuses the next connection
+// (a "server at capacity" response). Zero — the default — waits
+// indefinitely: pure backpressure, no refusals.
+func WithAcceptWait(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.acceptWait = d }
+}
+
+// WithCacheCapacity bounds the build cache to n entries (0 uses
+// DefaultCacheCapacity, negative disables retention entirely —
+// single-flight deduplication of concurrent identical builds remains).
+func WithCacheCapacity(n int) ServerOption {
+	return func(c *serverConfig) { c.cacheCapacity = n }
+}
+
+// WithServerObserver installs observability hooks at construction.
+func WithServerObserver(ob *obs.Hooks) ServerOption {
+	return func(c *serverConfig) { c.obs = ob }
+}
+
+// WithServerFaultInjector installs a fault injection set at
+// construction (the chaos suite's server-side entry point).
+func WithServerFaultInjector(fi *faultinject.Set) ServerOption {
+	return func(c *serverConfig) { c.fi = fi }
+}
+
 // Server is the remote patch server.
 type Server struct {
 	ln    net.Listener
 	trees TreeProvider
 
+	idleTimeout time.Duration
+	acceptWait  time.Duration
+	slots       chan struct{} // nil = unlimited
+	done        chan struct{} // closed when accepting stops (Drain or Close)
+	hardStop    chan struct{} // closed by Close only: abort live sessions
+	stopOnce    sync.Once
+
+	cache  *buildCache
+	builds atomic.Uint64 // completed double kernel builds
+
+	live    atomic.Int64
+	refused atomic.Int64
+
 	mu       sync.Mutex
 	patches  map[string]kernel.SourcePatch
 	statuses []StatusReport
+	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -103,6 +197,10 @@ type Server struct {
 	// hellos (non-empty AttKey) are cached; anonymous hellos keep the
 	// fresh-key-per-connection behavior.
 	channelKeys map[string][]byte
+
+	hooksMu sync.Mutex
+	fi      *faultinject.Set
+	obs     *obs.Hooks
 }
 
 // StatusReport is one target status received by the server.
@@ -121,15 +219,33 @@ type StatusReport struct {
 
 // NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral
 // port). Close it when done.
-func NewServer(addr string, trees TreeProvider) (*Server, error) {
+func NewServer(addr string, trees TreeProvider, opts ...ServerOption) (*Server, error) {
+	cfg := serverConfig{idleTimeout: DefaultIdleTimeout, cacheCapacity: DefaultCacheCapacity}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.cacheCapacity == 0 {
+		cfg.cacheCapacity = DefaultCacheCapacity
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("patchserver: %w", err)
 	}
 	s := &Server{
 		ln: ln, trees: trees,
+		idleTimeout: cfg.idleTimeout,
+		acceptWait:  cfg.acceptWait,
+		done:        make(chan struct{}),
+		hardStop:    make(chan struct{}),
+		cache:       newBuildCache(cfg.cacheCapacity),
 		patches:     make(map[string]kernel.SourcePatch),
+		conns:       make(map[net.Conn]struct{}),
 		channelKeys: make(map[string][]byte),
+		fi:          cfg.fi,
+		obs:         cfg.obs,
+	}
+	if cfg.maxConns > 0 {
+		s.slots = make(chan struct{}, cfg.maxConns)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -139,12 +255,35 @@ func NewServer(addr string, trees TreeProvider) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// SetObserver installs (or, with nil, removes) the observability hooks
+// counting cache traffic, builds, and connection churn.
+func (s *Server) SetObserver(ob *obs.Hooks) {
+	s.hooksMu.Lock()
+	defer s.hooksMu.Unlock()
+	s.obs = ob
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injection set consulted on the cache and accept paths.
+func (s *Server) SetFaultInjector(fi *faultinject.Set) {
+	s.hooksMu.Lock()
+	defer s.hooksMu.Unlock()
+	s.fi = fi
+}
+
+func (s *Server) hooks() (*faultinject.Set, *obs.Hooks) {
+	s.hooksMu.Lock()
+	defer s.hooksMu.Unlock()
+	return s.fi, s.obs
+}
+
 // RegisterPatch adds a source patch (a CVE fix) to the server's
-// catalogue.
+// catalogue, invalidating any cached builds of an earlier revision.
 func (s *Server) RegisterPatch(p kernel.SourcePatch) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.patches[p.ID] = p
+	s.mu.Unlock()
+	s.cache.invalidateCVE(p.ID)
 }
 
 // Statuses returns the status reports received so far.
@@ -177,7 +316,56 @@ func (s *Server) AwaitStatus(after uint64, timeout time.Duration) (StatusReport,
 	}
 }
 
-// Close stops the server and waits for connection handlers.
+// Builds reports how many double kernel builds (pre + post patch) the
+// server has performed — the fleet conformance witness: with caching
+// it stays at one per distinct (configuration, CVE) pair no matter how
+// many targets request it.
+func (s *Server) Builds() uint64 { return s.builds.Load() }
+
+// Live reports the number of connections currently being served.
+func (s *Server) Live() int { return int(s.live.Load()) }
+
+// Refused reports how many connections the full gate actively shed.
+func (s *Server) Refused() int { return int(s.refused.Load()) }
+
+// CachedArtifacts reports how many built artifacts the cache retains.
+func (s *Server) CachedArtifacts() int { return s.cache.len() }
+
+// FlushCache empties the build cache (benchmarks use this to measure
+// cold-cache behavior; operators can use it to force rebuilds).
+func (s *Server) FlushCache() { s.cache.flush() }
+
+// stop quits accepting: closes the done signal and the listener.
+func (s *Server) stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		_ = s.ln.Close()
+	})
+}
+
+// Drain gracefully stops the server: no new connections are accepted,
+// established sessions keep being served until their clients
+// disconnect (silent peers are bounded by the idle deadline), and
+// Drain returns once every connection has finished or ctx expires.
+// Call Close afterwards to force-abort whatever remains.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the server and waits for connection handlers. In-flight
+// responses are still written (under the write deadline); reads parked
+// waiting for a next request are aborted immediately.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -185,8 +373,16 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
-	_ = s.ln.Close()
+	s.stop()
+	close(s.hardStop)
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
 	s.wg.Wait()
 }
 
@@ -197,12 +393,82 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serve(conn)
-		}()
+		fi, _ := s.hooks()
+		if d, ok := fi.Delay(faultinject.AcceptStall); ok {
+			// Injected accept-path stall: the whole accept loop wedges,
+			// modeling a slow or contended frontend.
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-s.done:
+				t.Stop()
+			}
+		}
+		s.admit(conn)
 	}
+}
+
+// admit passes an accepted connection through the concurrency gate and
+// starts its handler. When the gate is full it blocks the accept loop
+// (backpressure: later connections queue in the listen backlog) until
+// a slot frees or, past the configured accept wait, refuses the
+// connection outright.
+func (s *Server) admit(conn net.Conn) {
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			if s.acceptWait > 0 {
+				t := time.NewTimer(s.acceptWait)
+				select {
+				case s.slots <- struct{}{}:
+					t.Stop()
+				case <-t.C:
+					s.refuse(conn)
+					return
+				case <-s.done:
+					t.Stop()
+					conn.Close()
+					return
+				}
+			} else {
+				select {
+				case s.slots <- struct{}{}:
+				case <-s.done:
+					conn.Close()
+					return
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.slots != nil {
+			<-s.slots
+		}
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.live.Add(1)
+	_, ob := s.hooks()
+	ob.Count(obs.CtrConnAccepted, 1)
+	ob.Count(obs.CtrConnLive, 1)
+	go s.serveConn(conn)
+}
+
+// refuse sheds one connection at the full gate: it answers the peer's
+// first read with a capacity error and closes.
+func (s *Server) refuse(conn net.Conn) {
+	s.refused.Add(1)
+	_, ob := s.hooks()
+	ob.Count(obs.CtrConnRefused, 1)
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = gob.NewEncoder(conn).Encode(&response{Err: "server at capacity"})
+	conn.Close()
 }
 
 // session is the per-connection state: the registered target.
@@ -213,18 +479,46 @@ type session struct {
 	attKey    []byte
 }
 
-func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		if s.slots != nil {
+			<-s.slots
+		}
+		s.live.Add(-1)
+		_, ob := s.hooks()
+		ob.Count(obs.CtrConnLive, -1)
+		s.wg.Done()
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var sess *session
 
 	for {
+		// The idle deadline is armed before the shutdown check: if Close
+		// runs between the two, its SetReadDeadline(now) lands after ours
+		// and the Decode below fails immediately instead of idling. Only
+		// Close aborts live sessions — a draining server keeps serving
+		// established connections until their clients leave.
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		select {
+		case <-s.hardStop:
+			return
+		default:
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken peer
+			return // EOF, timeout, or broken peer
 		}
 		resp := s.handle(&sess, &req)
+		if s.idleTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -320,9 +614,14 @@ func (s *Server) handlePatch(sess *session, req *request) *response {
 	return &response{Blob: blob}
 }
 
-// BuildPatchBlob rebuilds pre/post kernels with the target's exact
-// configuration, extracts the binary patch, and encrypts it for the
-// enclave. Exposed for in-process use by benchmarks that bypass TCP.
+// BuildPatchBlob returns the encrypted binary patch for (info, cve),
+// encrypting for the given session. The underlying plaintext artifact
+// — rebuild pre/post kernels with the target's exact configuration,
+// extract the binary diff, gob-encode — is served from the bounded
+// single-flight build cache: concurrent identical requests share one
+// build, later ones hit the cache. Encryption always runs per call, so
+// every session's ciphertext is keyed to its own channel. Exposed for
+// in-process use by benchmarks that bypass TCP.
 func (s *Server) BuildPatchBlob(info OSInfo, cve string, crypt *kcrypto.Session) ([]byte, error) {
 	s.mu.Lock()
 	sp, ok := s.patches[cve]
@@ -330,6 +629,48 @@ func (s *Server) BuildPatchBlob(info OSInfo, cve string, crypt *kcrypto.Session)
 	if !ok {
 		return nil, fmt.Errorf("no patch registered for %q", cve)
 	}
+	key := buildKey{version: info.Version, ftrace: info.Ftrace, inline: info.Inline, cve: cve}
+	fi, ob := s.hooks()
+	if fi.Fire(faultinject.BuildCacheBypass) {
+		// Injected cache loss: drop the entry so this request takes the
+		// full rebuild path (cache corruption / cold restart model).
+		s.cache.invalidate(key)
+	}
+	plain, outcome, evicted, err := s.cache.getOrBuild(key, func() ([]byte, error) {
+		start := time.Now()
+		p, err := s.buildPlain(info, sp)
+		if err == nil {
+			s.builds.Add(1)
+			ob.Count(obs.CtrBuilds, 1)
+			ob.ObserveDur(obs.HistBuildLatency, time.Since(start))
+		}
+		return p, err
+	})
+	if evicted > 0 {
+		ob.Count(obs.CtrCacheEvicted, int64(evicted))
+	}
+	switch outcome {
+	case outcomeHit:
+		ob.Count(obs.CtrCacheHits, 1)
+	case outcomeBuilt:
+		ob.Count(obs.CtrCacheMisses, 1)
+	case outcomeCoalesced:
+		ob.Count(obs.CtrCacheCoalesced, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return crypt.Encrypt(plain)
+}
+
+// buildPlain performs the expensive part once per cache key: rebuild
+// the pre- and post-patch kernels with the target's configuration,
+// extract the function-level binary diff, and gob-encode it. The
+// result is plaintext — per-session encryption happens per request in
+// BuildPatchBlob, which is what keeps the cache safe to share across
+// targets (§V-A's confidentiality argument needs ciphertext per
+// channel, not per build).
+func (s *Server) buildPlain(info OSInfo, sp kernel.SourcePatch) ([]byte, error) {
 	pre, err := s.trees(info.Version)
 	if err != nil {
 		return nil, err
@@ -355,78 +696,264 @@ func (s *Server) BuildPatchBlob(info OSInfo, cve string, crypt *kcrypto.Session)
 	if err != nil {
 		return nil, fmt.Errorf("post build: %w", err)
 	}
-	bp, err := patch.Build(cve, info.Version, patch.ImagePair{Img: preImg, Unit: preUnit}, patch.ImagePair{Img: postImg, Unit: postUnit})
+	bp, err := patch.Build(sp.ID, info.Version, patch.ImagePair{Img: preImg, Unit: preUnit}, patch.ImagePair{Img: postImg, Unit: postUnit})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := gobEncode(bp)
-	if err != nil {
-		return nil, err
-	}
-	return crypt.Encrypt(plain)
+	return gobEncode(bp)
+}
+
+// Client tuning defaults.
+const (
+	// DefaultDialTimeout bounds one TCP connect attempt.
+	DefaultDialTimeout = 5 * time.Second
+
+	// DefaultRetryBackoff is the base delay before the first dial or
+	// request retry; it doubles per attempt.
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// clientConfig collects the DialOption-tunable knobs.
+type clientConfig struct {
+	dialTimeout    time.Duration
+	dialRetries    int
+	requestRetries int
+	retryBackoff   time.Duration
+	ioTimeout      time.Duration
+	fi             *faultinject.Set
+	wall           timing.WallClock
+	obs            *obs.Hooks
+}
+
+// DialOption tunes a Client.
+type DialOption func(*clientConfig)
+
+// WithDialTimeout bounds each TCP connect attempt.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *clientConfig) { c.dialTimeout = d }
+}
+
+// WithDialRetries allows n additional dial attempts after a failed
+// connect, with exponential backoff between attempts.
+func WithDialRetries(n int) DialOption {
+	return func(c *clientConfig) { c.dialRetries = n }
+}
+
+// WithRequestRetries allows n reconnect-and-replay attempts when a
+// request burst fails at the transport level (send/receive error, a
+// reaped idle connection). The client redials, replays its recorded
+// hello, and resends the burst. Patch fetches are idempotent; status
+// reports may be duplicated by a retry, which the server tolerates.
+// Anonymous (non-attested) sessions receive a fresh channel key on
+// reconnect, so callers holding a kcrypto session should only enable
+// this together with an attested hello (whose key the server caches).
+func WithRequestRetries(n int) DialOption {
+	return func(c *clientConfig) { c.requestRetries = n }
+}
+
+// WithRetryBackoff sets the base backoff before the first retry
+// (doubling per attempt) for both dial and request retries.
+func WithRetryBackoff(d time.Duration) DialOption {
+	return func(c *clientConfig) { c.retryBackoff = d }
+}
+
+// WithIOTimeout arms a deadline on every socket read and write (zero
+// disables; the server's idle deadline is then the only reaper).
+func WithIOTimeout(d time.Duration) DialOption {
+	return func(c *clientConfig) { c.ioTimeout = d }
+}
+
+// WithClientWallClock sets the clock pacing retry backoff and injected
+// latency (real time when nil). The chaos suite passes timing.FakeWall
+// so retries never depend on the host clock.
+func WithClientWallClock(wc timing.WallClock) DialOption {
+	return func(c *clientConfig) { c.wall = wc }
+}
+
+// WithClientFaultInjector installs a fault injection set at dial time,
+// so dial-path faults (faultinject.DialError) can fire on the very
+// first connect.
+func WithClientFaultInjector(fi *faultinject.Set) DialOption {
+	return func(c *clientConfig) { c.fi = fi }
+}
+
+// WithClientObserver installs observability hooks at dial time.
+func WithClientObserver(ob *obs.Hooks) DialOption {
+	return func(c *clientConfig) { c.obs = ob }
 }
 
 // Client is the target machine's connection to the patch server. Its
 // methods are invoked by the untrusted helper application; everything
 // it carries is ciphertext or public.
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex
+	addr string
+	cfg  clientConfig
 
-	// fi injects per-fetch failures (errors, truncated bodies, extra
-	// latency) for the chaos suite; wall paces injected latency so
-	// fakes keep the suite off the host clock. Guarded by mu.
+	// mu serializes request bursts: one exchange owns the connection
+	// end to end (including any reconnect-and-replay retries).
+	mu sync.Mutex
+
+	// connMu guards the connection state and the injectable hooks, so
+	// Close and the Set* methods never block behind an exchange.
+	connMu sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+	hello  *request // recorded attested hello, replayed on reconnect
+
 	fi   *faultinject.Set
 	wall timing.WallClock
 	obs  *obs.Hooks
 }
 
 // Dial connects to the server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("patchserver dial: %w", err)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext connects to the server, retrying failed connect attempts
+// with exponential backoff when dial retries are configured. ctx
+// cancels the connect and any backoff wait.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := clientConfig{
+		dialTimeout:  DefaultDialTimeout,
+		retryBackoff: DefaultRetryBackoff,
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := dialConn(ctx, addr, cfg, cfg.fi, cfg.wall, cfg.obs)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		addr: addr, cfg: cfg, conn: conn,
+		enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		fi: cfg.fi, wall: cfg.wall, obs: cfg.obs,
+	}
+	return c, nil
+}
+
+// dialConn runs the connect-with-backoff loop.
+func dialConn(ctx context.Context, addr string, cfg clientConfig, fi *faultinject.Set, wall timing.WallClock, ob *obs.Hooks) (net.Conn, error) {
+	bo := timing.NewBackoff(wall, cfg.retryBackoff, 0)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := fi.Error(faultinject.DialError); err != nil {
+			lastErr = fmt.Errorf("patchserver dial: %w", err)
+		} else {
+			d := net.Dialer{Timeout: cfg.dialTimeout}
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err == nil {
+				return conn, nil
+			}
+			lastErr = fmt.Errorf("patchserver dial: %w", err)
+		}
+		if attempt >= cfg.dialRetries {
+			return nil, lastErr
+		}
+		ob.Count(obs.CtrDialRetries, 1)
+		if !bo.Sleep(ctx) {
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	return c.conn.Close()
+}
 
 // SetFaultInjector installs (or, with nil, removes) the fault
 // injection set consulted on every fetch result.
 func (c *Client) SetFaultInjector(fi *faultinject.Set) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	c.fi = fi
 }
 
 // SetWallClock replaces the clock that paces injected fetch latency
-// (real time when nil).
+// and retry backoff (real time when nil).
 func (c *Client) SetWallClock(wc timing.WallClock) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	c.wall = wc
 }
 
 // SetObserver installs (or, with nil, removes) the observability hooks
 // counting per-CVE fetch outcomes.
 func (c *Client) SetObserver(ob *obs.Hooks) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	c.obs = ob
 }
 
 func (c *Client) hooks() (*faultinject.Set, timing.WallClock, *obs.Hooks) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	wall := c.wall
 	if wall == nil {
 		wall = timing.Real()
 	}
 	return c.fi, wall, c.obs
+}
+
+// transport snapshots the current connection endpoints.
+func (c *Client) transport() (net.Conn, *gob.Encoder, *gob.Decoder) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn, c.enc, c.dec
+}
+
+// recordHello remembers a successful attested hello for replay after a
+// reconnect (only attested hellos converge on the same channel key, so
+// only they are safe to replay transparently).
+func (c *Client) recordHello(req *request) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if len(req.AttKey) > 0 {
+		c.hello = req
+	}
+}
+
+// reconnect redials the server, swaps the connection, and replays the
+// recorded hello so the new connection's session matches the old one.
+func (c *Client) reconnect(ctx context.Context) error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return errors.New("patchserver: client closed")
+	}
+	fi, wall, ob := c.fi, c.wall, c.obs
+	hello := c.hello
+	c.connMu.Unlock()
+
+	conn, err := dialConn(ctx, c.addr, c.cfg, fi, wall, ob)
+	if err != nil {
+		return err
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if hello != nil {
+		if err := c.exchangeOn(conn, enc, dec, []*request{hello}, nil); err != nil {
+			conn.Close()
+			return fmt.Errorf("patchserver: hello replay: %w", err)
+		}
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return errors.New("patchserver: client closed")
+	}
+	old := c.conn
+	c.conn, c.enc, c.dec = conn, enc, dec
+	c.connMu.Unlock()
+	_ = old.Close()
+	return nil
 }
 
 func (c *Client) roundTrip(req *request) (*response, error) {
@@ -445,11 +972,16 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 // requests sequentially, so pipelining N fetches saves N-1 round trip
 // waits without any protocol change.
 //
+// A transport-level failure (send/receive error, a reaped idle
+// connection) triggers reconnect-and-replay when request retries are
+// configured: the whole burst is resent on a fresh connection after
+// the recorded hello is replayed.
+//
 // Cancellation is logical, not transport-level: when ctx fires, the
 // call returns immediately, but the exchange finishes in the
 // background under the connection mutex so the gob stream stays framed
 // and the client remains usable. (An abandoned fetch's responses are
-// drained and discarded.)
+// drained and discarded; retries stop once ctx is done.)
 func (c *Client) roundTrips(ctx context.Context, reqs []*request) ([]*response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -462,22 +994,25 @@ func (c *Client) roundTrips(ctx context.Context, reqs []*request) ([]*response, 
 	go func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		for _, req := range reqs {
-			if err := c.enc.Encode(req); err != nil {
-				ch <- outcome{nil, fmt.Errorf("patchserver send: %w", err)}
-				return
+		resps, err := c.exchange(reqs)
+		if err != nil {
+			_, wall, _ := c.hooks()
+			bo := timing.NewBackoff(wall, c.cfg.retryBackoff, 0)
+			for attempt := 0; attempt < c.cfg.requestRetries && ctx.Err() == nil; attempt++ {
+				if !bo.Sleep(ctx) {
+					break
+				}
+				if rerr := c.reconnect(ctx); rerr != nil {
+					err = rerr
+					continue
+				}
+				resps, err = c.exchange(reqs)
+				if err == nil {
+					break
+				}
 			}
 		}
-		resps := make([]*response, 0, len(reqs))
-		for range reqs {
-			var resp response
-			if err := c.dec.Decode(&resp); err != nil {
-				ch <- outcome{nil, fmt.Errorf("patchserver recv: %w", err)}
-				return
-			}
-			resps = append(resps, &resp)
-		}
-		ch <- outcome{resps, nil}
+		ch <- outcome{resps, err}
 	}()
 	select {
 	case <-ctx.Done():
@@ -485,6 +1020,47 @@ func (c *Client) roundTrips(ctx context.Context, reqs []*request) ([]*response, 
 	case out := <-ch:
 		return out.resps, out.err
 	}
+}
+
+// exchange runs one burst on the current connection. Callers hold c.mu.
+func (c *Client) exchange(reqs []*request) ([]*response, error) {
+	conn, enc, dec := c.transport()
+	resps := make([]*response, 0, len(reqs))
+	if err := c.exchangeOn(conn, enc, dec, reqs, &resps); err != nil {
+		return nil, err
+	}
+	return resps, nil
+}
+
+// exchangeOn writes reqs and reads their responses on the given
+// endpoints, arming per-operation I/O deadlines when configured. When
+// resps is nil the responses are still read (keeping the stream
+// framed) and checked for errors, but discarded — the hello-replay
+// path uses this.
+func (c *Client) exchangeOn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, reqs []*request, resps *[]*response) error {
+	for _, req := range reqs {
+		if c.cfg.ioTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.ioTimeout))
+		}
+		if err := enc.Encode(req); err != nil {
+			return fmt.Errorf("patchserver send: %w", err)
+		}
+	}
+	for range reqs {
+		if c.cfg.ioTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ioTimeout))
+		}
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			return fmt.Errorf("patchserver recv: %w", err)
+		}
+		if resps != nil {
+			*resps = append(*resps, &resp)
+		} else if resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+	}
+	return nil
 }
 
 // Hello registers the target's OS information and enclave measurement
@@ -498,13 +1074,15 @@ func (c *Client) Hello(info OSInfo, meas sgx.Measurement) ([]byte, error) {
 // status-attestation key so the server can authenticate deployment
 // confirmations.
 func (c *Client) HelloWithAttestation(info OSInfo, meas sgx.Measurement, attKey []byte) ([]byte, error) {
-	resp, err := c.roundTrip(&request{Kind: kindHello, Info: info, Measurement: meas, AttKey: attKey})
+	req := &request{Kind: kindHello, Info: info, Measurement: meas, AttKey: attKey}
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	if len(resp.ServerKey) != 32 {
 		return nil, errors.New("patchserver: malformed server key")
 	}
+	c.recordHello(req)
 	return resp.ServerKey, nil
 }
 

@@ -394,16 +394,15 @@ func deliverFallback(ctx context.Context, b Backend, m *Member, res *Result) {
 // until it lands, the error stops being retryable, or attempts run
 // out. Only this member is redelivered — its batch mates are done.
 func retryMember(ctx context.Context, b Backend, m *Member, cfg Config, res *Result) {
-	backoff := cfg.Backoff
+	bo := timing.NewBackoff(cfg.Clock, cfg.Backoff, 0)
 	for attempt := 0; attempt < cfg.MaxRetries && m.Err != nil && cfg.Retryable(m.Err); attempt++ {
 		// The backoff sleep honors cancellation: a cancelled context
 		// interrupts the wait immediately instead of letting a long
 		// backoff pin the run.
-		if !cfg.Clock.Sleep(ctx, backoff) {
+		if !bo.Sleep(ctx) {
 			m.Err = ctx.Err()
 			return
 		}
-		backoff *= 2
 		m.Attempts++
 		m.Err = b.DeliverOne(ctx, m)
 		res.Singles++

@@ -1,0 +1,42 @@
+package timing
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff paces retries with exponential delays driven by a WallClock,
+// so every retry loop in the system (pipeline redelivery, patch-server
+// dial and request retry) shares one implementation the chaos suite
+// can run on fake time. Not safe for concurrent use; make one per
+// retry loop.
+type Backoff struct {
+	wall WallClock
+	next time.Duration
+	max  time.Duration
+}
+
+// NewBackoff returns a Backoff whose first Sleep waits base, doubling
+// each call, capped at max (0 = uncapped). A nil wall uses the real
+// clock; a non-positive base disables waiting (Sleep only checks ctx).
+func NewBackoff(wall WallClock, base, max time.Duration) *Backoff {
+	if wall == nil {
+		wall = Real()
+	}
+	return &Backoff{wall: wall, next: base, max: max}
+}
+
+// Sleep waits for the current delay (doubling it for the next call)
+// and reports whether the full wait elapsed; false means ctx is done
+// and the retry loop should stop.
+func (b *Backoff) Sleep(ctx context.Context) bool {
+	d := b.next
+	b.next *= 2
+	if b.max > 0 && b.next > b.max {
+		b.next = b.max
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	return b.wall.Sleep(ctx, d)
+}

@@ -37,6 +37,7 @@ package kshot
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
@@ -129,6 +130,20 @@ func WithRand(r io.Reader) Option { return func(o *Options) { o.Rand = r } }
 // be retried.
 func WithActivenessCheck(on bool) Option { return func(o *Options) { o.CheckActiveness = on } }
 
+// WithDialRetries allows the system's patch-server connections extra
+// TCP connect attempts with exponential backoff.
+func WithDialRetries(n int) Option { return func(o *Options) { o.DialRetries = n } }
+
+// WithRequestRetries lets the system's patch-server connections
+// reconnect and replay a transport-failed request burst (safe because
+// the system's hellos are attested, so a reconnect converges on the
+// same channel key).
+func WithRequestRetries(n int) Option { return func(o *Options) { o.RequestRetries = n } }
+
+// WithDialBackoff sets the base backoff before the first dial or
+// request retry (doubling per attempt).
+func WithDialBackoff(d time.Duration) Option { return func(o *Options) { o.RetryBackoff = d } }
+
 // ApplyOption tunes System.ApplyAll (batch size, fetch fan-out, retry
 // policy).
 type ApplyOption = core.ApplyOption
@@ -169,14 +184,43 @@ type OSInfo = patchserver.OSInfo
 // TreeProvider supplies full kernel source trees per version.
 type TreeProvider = patchserver.TreeProvider
 
+// ServerOption tunes NewPatchServer: the build-cache bound, the
+// per-connection idle deadline, and the concurrency gate.
+type ServerOption = patchserver.ServerOption
+
+// Patch server tuning options.
+var (
+	WithServerMaxConns      = patchserver.WithMaxConns
+	WithServerAcceptWait    = patchserver.WithAcceptWait
+	WithServerIdleTimeout   = patchserver.WithIdleTimeout
+	WithServerCacheCapacity = patchserver.WithCacheCapacity
+)
+
+// DialOption tunes DialPatchServer: connect/request retry policy and
+// I/O deadlines.
+type DialOption = patchserver.DialOption
+
+// Patch client tuning options.
+var (
+	WithClientDialTimeout    = patchserver.WithDialTimeout
+	WithClientDialRetries    = patchserver.WithDialRetries
+	WithClientRequestRetries = patchserver.WithRequestRetries
+	WithClientRetryBackoff   = patchserver.WithRetryBackoff
+	WithClientIOTimeout      = patchserver.WithIOTimeout
+)
+
 // NewPatchServer starts a patch server on addr ("host:0" picks an
-// ephemeral port).
-func NewPatchServer(addr string, trees TreeProvider) (*PatchServer, error) {
-	return patchserver.NewServer(addr, trees)
+// ephemeral port). Built patch artifacts are cached and shared across
+// targets with the same kernel configuration; per-session encryption
+// stays per-client.
+func NewPatchServer(addr string, trees TreeProvider, opts ...ServerOption) (*PatchServer, error) {
+	return patchserver.NewServer(addr, trees, opts...)
 }
 
 // DialPatchServer connects a client to a patch server.
-func DialPatchServer(addr string) (*PatchClient, error) { return patchserver.Dial(addr) }
+func DialPatchServer(addr string, opts ...DialOption) (*PatchClient, error) {
+	return patchserver.Dial(addr, opts...)
+}
 
 // CVE is one benchmark vulnerability: vulnerable subsystem source, its
 // fix, and an exploit probe.
