@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover
+.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover api apicheck
 
 # Per-target budget for the fuzz smoke pass (see `fuzz` below).
 FUZZTIME ?= 30s
@@ -42,7 +42,23 @@ benchsmoke:
 # runs; see cmd/kshot-bench -json.
 BENCHJSON ?= bench.json
 benchjson:
-	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -iters 1 -o $(BENCHJSON) > /dev/null
+	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -rollout -iters 1 -o $(BENCHJSON) > /dev/null
+
+# Public API surface snapshot. `make api` regenerates api.txt from the
+# package's exported declarations; `make apicheck` fails when the
+# surface drifted from the committed snapshot — regenerate and review
+# the diff to change the API deliberately.
+api:
+	$(GO) doc -all . > api.txt
+
+apicheck:
+	@$(GO) doc -all . > api.txt.got; \
+	if ! diff -u api.txt api.txt.got; then \
+		rm -f api.txt.got; \
+		echo "public API surface changed: run 'make api' and commit the reviewed api.txt"; \
+		exit 1; \
+	fi; \
+	rm -f api.txt.got; echo "api surface matches api.txt"
 
 # Statement coverage with a ratchet: prints the per-package breakdown
 # and fails if the total drops below COVERMIN.

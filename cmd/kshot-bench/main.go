@@ -51,7 +51,11 @@ func run(args []string, stdout io.Writer) error {
 		overhead = fs.Bool("overhead", false, "whole-system overhead")
 		trace    = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
 		fleet    = fs.Bool("fleet", false, "fleet distribution: cold vs warm build-cache delivery")
+		rollout  = fs.Bool("rollout", false, "fleet rollout: staged canary waves across simulated targets")
 		clients  = fs.Int("clients", 16, "fleet size for -fleet")
+		targets  = fs.Int("targets", 24, "fleet size for -rollout")
+		domains  = fs.Int("domains", 4, "failure domains for -rollout")
+		rollcves = fs.Int("rollout-cves", 2, "CVE batch size for -rollout")
 		iters    = fs.Int("iters", 3, "repetitions per measurement")
 		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
 		batch    = fs.Int("batch", 8, "batch size for -pipeline")
@@ -75,10 +79,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet
+	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet || *rollout
 	if *all || !selected {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet =
-			true, true, true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet, *rollout =
+			true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	// In JSON mode, data-bearing experiments accumulate here and are
@@ -253,6 +257,27 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(out, "  warm cache: %v per request (cached artifact, per-session encryption only)\n", fr.WarmPer)
 			fmt.Fprintf(out, "  speedup: %.1fx; kernel builds: %d for %d requests served\n",
 				fr.Speedup, fr.Builds, fr.Requests)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *rollout {
+		progress("running fleet rollout (%d targets, %d domains, %d CVEs, staged waves)...\n",
+			*targets, *domains, *rollcves)
+		rr, err := evalharness.RunRolloutBench(*targets, *domains, *rollcves, 4)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			results["rollout"] = rr
+		} else {
+			fmt.Fprintf(out, "Fleet rollout (%d targets in %d domains, %d CVEs, canary → %%-waves):\n",
+				rr.Targets, rr.Domains, rr.CVEs)
+			fmt.Fprintf(out, "  waves: %d; patched %d, failed %d, rolled back %d\n",
+				rr.Waves, rr.Patched, rr.Failed, rr.RolledBk)
+			fmt.Fprintf(out, "  throughput: %.1f targets/s (wall %v)\n", rr.TargetsPerSec, rr.Wall)
+			fmt.Fprintf(out, "  per-target virtual SMM pause: mean %sus, p99 %sus\n",
+				report.Us(rr.MeanPause), report.Us(rr.P99Pause))
 			fmt.Fprintln(out)
 		}
 	}

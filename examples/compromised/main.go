@@ -26,18 +26,18 @@ func main() {
 	if !ok {
 		log.Fatal("registry missing CVE-2014-0196")
 	}
-	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	srv, err := kshot.NewPatchServer(kshot.WithTreeProvider(kshot.TreeProviderFor(entry)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	srv.RegisterPatch(entry.SourcePatch())
 
-	sys, err := kshot.NewSystem(kshot.Options{
-		Version:    "4.4",
-		ExtraFiles: map[string]string{entry.File: entry.Vuln},
-		ServerAddr: srv.Addr(),
-	})
+	sys, err := kshot.New(
+		kshot.WithVersion("4.4"),
+		kshot.WithExtraFiles(map[string]string{entry.File: entry.Vuln}),
+		kshot.WithServerAddr(srv.Addr()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,20 +30,20 @@ func main() {
 	if !ok {
 		log.Fatal("registry missing CVE-2016-7914")
 	}
-	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	srv, err := kshot.NewPatchServer(kshot.WithTreeProvider(kshot.TreeProviderFor(entry)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	srv.RegisterPatch(entry.SourcePatch())
 
-	sys, err := kshot.NewSystem(kshot.Options{
-		Version:         "4.4",
-		NumVCPUs:        2,
-		ExtraFiles:      map[string]string{entry.File: entry.Vuln},
-		ServerAddr:      srv.Addr(),
-		CheckActiveness: true,
-	})
+	sys, err := kshot.New(
+		kshot.WithVersion("4.4"),
+		kshot.WithVCPUs(2),
+		kshot.WithExtraFiles(map[string]string{entry.File: entry.Vuln}),
+		kshot.WithServerAddr(srv.Addr()),
+		kshot.WithActivenessCheck(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func main() {
 
 	// The remote patch server: the trusted vendor machine holding full
 	// kernel source (including the vulnerable subsystem) and the fix.
-	srv, err := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+	srv, err := kshot.NewPatchServer(kshot.WithTreeProvider(kshot.TreeProviderFor(entry)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,11 +37,11 @@ func main() {
 	// The target machine: boots the vulnerable kernel, locks SMRAM,
 	// loads the preparation enclave, and attests to the server.
 	fmt.Println("booting target machine (kernel 4.4, vulnerable to", entry.CVE+")...")
-	sys, err := kshot.NewSystem(kshot.Options{
-		Version:    "4.4",
-		ExtraFiles: map[string]string{entry.File: entry.Vuln},
-		ServerAddr: srv.Addr(),
-	})
+	sys, err := kshot.New(
+		kshot.WithVersion("4.4"),
+		kshot.WithExtraFiles(map[string]string{entry.File: entry.Vuln}),
+		kshot.WithServerAddr(srv.Addr()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kshot/internal/obs"
+	"kshot/internal/options"
 	"kshot/internal/patchserver"
 	"kshot/internal/pipeline"
 	"kshot/internal/sgxprep"
@@ -14,8 +15,11 @@ import (
 	"kshot/internal/timing"
 )
 
-// ApplyOption tunes an ApplyAll run.
-type ApplyOption func(*applyConfig)
+// ApplyOption tunes an ApplyAll run. Every With* validates its
+// argument eagerly; ApplyAll reports the first rejected option as a
+// typed *options.Error matching options.ErrInvalid, before any fetch
+// is issued.
+type ApplyOption func(*applyConfig) error
 
 type applyConfig struct {
 	batchSize    int
@@ -25,27 +29,65 @@ type applyConfig struct {
 	syncFetch    bool
 }
 
+func applyOptErr(option, format string, a ...any) error {
+	return options.Errorf("System.ApplyAll", option, format, a...)
+}
+
 // WithBatchSize caps how many patches are delivered under one SMI
 // (default pipeline.DefaultBatchSize, max smmpatch.MaxBatchMembers).
-func WithBatchSize(n int) ApplyOption { return func(c *applyConfig) { c.batchSize = n } }
+func WithBatchSize(n int) ApplyOption {
+	return func(c *applyConfig) error {
+		if n < 1 {
+			return applyOptErr("WithBatchSize", "must be >= 1, got %d", n)
+		}
+		c.batchSize = n
+		return nil
+	}
+}
 
 // WithFetchWorkers sets the number of concurrent Stage-1 fetch
 // connections (default pipeline.DefaultWorkers).
-func WithFetchWorkers(n int) ApplyOption { return func(c *applyConfig) { c.fetchWorkers = n } }
+func WithFetchWorkers(n int) ApplyOption {
+	return func(c *applyConfig) error {
+		if n < 1 {
+			return applyOptErr("WithFetchWorkers", "must be >= 1, got %d", n)
+		}
+		c.fetchWorkers = n
+		return nil
+	}
+}
 
 // WithMaxRetries bounds per-patch redeliveries after an activeness
 // refusal; negative disables retries (default pipeline.DefaultMaxRetries).
-func WithMaxRetries(n int) ApplyOption { return func(c *applyConfig) { c.maxRetries = n } }
+func WithMaxRetries(n int) ApplyOption {
+	return func(c *applyConfig) error {
+		c.maxRetries = n
+		return nil
+	}
+}
 
 // WithRetryBackoff sets the base real-time delay before the first
 // retry; it doubles per attempt (default pipeline.DefaultBackoff).
-func WithRetryBackoff(d time.Duration) ApplyOption { return func(c *applyConfig) { c.backoff = d } }
+func WithRetryBackoff(d time.Duration) ApplyOption {
+	return func(c *applyConfig) error {
+		if d < 0 {
+			return applyOptErr("WithRetryBackoff", "must be >= 0, got %v", d)
+		}
+		c.backoff = d
+		return nil
+	}
+}
 
 // WithSyncFetch fetches each batch inline right before delivering it,
 // giving up fetch/delivery overlap so a seeded fault schedule replays
 // at identical call indices on every run. Chaos tests use this;
 // production runs should not.
-func WithSyncFetch() ApplyOption { return func(c *applyConfig) { c.syncFetch = true } }
+func WithSyncFetch() ApplyOption {
+	return func(c *applyConfig) error {
+		c.syncFetch = true
+		return nil
+	}
+}
 
 // BatchReport is the outcome of one ApplyAll run.
 type BatchReport struct {
@@ -80,7 +122,9 @@ type BatchReport struct {
 func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOption) (*BatchReport, error) {
 	var cfg applyConfig
 	for _, o := range opts {
-		o(&cfg)
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	batchSize := cfg.batchSize
 	if batchSize <= 0 {

@@ -34,6 +34,7 @@ import (
 	"kshot/internal/machine"
 	"kshot/internal/mem"
 	"kshot/internal/obs"
+	"kshot/internal/options"
 	"kshot/internal/patchserver"
 	"kshot/internal/sgx"
 	"kshot/internal/sgxprep"
@@ -131,9 +132,39 @@ type System struct {
 	obs  *obs.Hooks
 }
 
+// Validate checks the assembled options for values no deployment can
+// boot with, returning a typed *options.Error (matching
+// options.ErrInvalid) for the first offender. NewSystem calls it; the
+// functional-options constructor surfaces the same errors through its
+// With* funcs.
+func (o *Options) Validate() error {
+	bad := func(option, format string, a ...any) error {
+		return options.Errorf("kshot.New", option, format, a...)
+	}
+	if o.NumVCPUs < 0 {
+		return bad("WithVCPUs", "must be >= 0, got %d", o.NumVCPUs)
+	}
+	if o.DialRetries < 0 {
+		return bad("WithDialRetries", "must be >= 0, got %d", o.DialRetries)
+	}
+	if o.RequestRetries < 0 {
+		return bad("WithRequestRetries", "must be >= 0, got %d", o.RequestRetries)
+	}
+	if o.RetryBackoff < 0 {
+		return bad("WithDialBackoff", "must be >= 0, got %v", o.RetryBackoff)
+	}
+	return nil
+}
+
 // NewSystem boots the target machine, locks down SMM, attests and
 // loads the preparation enclave, and registers with the patch server.
 func NewSystem(opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Version == "" {
+		opts.Version = "4.4"
+	}
 	if opts.HashAlg == 0 {
 		opts.HashAlg = kcrypto.HashSHA256
 	}

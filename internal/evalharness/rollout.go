@@ -1,0 +1,135 @@
+package evalharness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"kshot/internal/core"
+	"kshot/internal/cvebench"
+	"kshot/internal/orchestrator"
+	"kshot/internal/patchserver"
+)
+
+// RolloutBenchResult is the fleet-rollout experiment: one coordinator
+// driving a CVE batch across a simulated fleet in staged canary waves,
+// every target booting its own machine and fetching from one shared
+// patch server. Throughput is wall-clock (the real coordinator and
+// server are being measured); the pause percentiles are virtual SMM
+// time (the paper's downtime metric).
+type RolloutBenchResult struct {
+	Targets  int `json:"targets"`
+	Domains  int `json:"domains"`
+	CVEs     int `json:"cves"`
+	Waves    int `json:"waves"`
+	Patched  int `json:"patched"`
+	Failed   int `json:"failed"`
+	RolledBk int `json:"rolled_back"`
+
+	Wall          time.Duration `json:"wall_ns"`
+	TargetsPerSec float64       `json:"targets_per_sec"`
+
+	MeanPause time.Duration `json:"mean_target_pause_ns"`
+	P99Pause  time.Duration `json:"p99_target_pause_ns"`
+}
+
+// RunRolloutBench measures the rollout orchestrator end to end:
+// targets simulated machines across domains failure domains, patching
+// cves CVEs from the benchmark registry in staged waves of
+// concurrency-bounded parallelism.
+func RunRolloutBench(targets, domains, cves, concurrency int) (*RolloutBenchResult, error) {
+	if targets < 2 {
+		targets = 2
+	}
+	if domains < 1 {
+		domains = 1
+	}
+	if concurrency < 1 {
+		concurrency = 4
+	}
+	entries := cvebench.FigureSix()
+	if cves < 1 || cves > len(entries) {
+		cves = 2
+	}
+	entries = entries[:cves]
+
+	ids := make([]string, len(entries))
+	files := make(map[string]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.CVE
+		files[e.File] = e.Vuln
+	}
+	srv, err := patchserver.New(patchserver.WithTreeProvider(cvebench.TreeProviderFor(entries...)))
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	for _, e := range entries {
+		srv.RegisterPatch(e.SourcePatch())
+	}
+
+	fleet := make([]orchestrator.Target, targets)
+	for i := range fleet {
+		fleet[i] = orchestrator.Target{
+			ID:     fmt.Sprintf("bench-%03d", i),
+			Domain: fmt.Sprintf("dom-%d", i%domains),
+		}
+	}
+
+	roll, err := orchestrator.New(
+		orchestrator.WithTargets(fleet),
+		orchestrator.WithCVEs(ids...),
+		orchestrator.WithProvisioner(func(ctx context.Context, t orchestrator.Target) (orchestrator.Patcher, error) {
+			return core.NewSystem(core.Options{
+				Version:    "4.4",
+				ExtraFiles: files,
+				ServerAddr: srv.Addr(),
+			})
+		}),
+		orchestrator.WithSeed(1),
+		orchestrator.WithFirstWaveFraction(0.05),
+		orchestrator.WithWaveConcurrency(concurrency),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res, runErr := roll.Run(context.Background())
+	wall := time.Since(start)
+	if runErr != nil {
+		return nil, fmt.Errorf("rollout bench: %w", runErr)
+	}
+
+	out := &RolloutBenchResult{
+		Targets:  targets,
+		Domains:  domains,
+		CVEs:     cves,
+		Waves:    len(res.Waves),
+		Patched:  res.Patched,
+		Failed:   res.Failed,
+		RolledBk: res.RolledBack,
+		Wall:     wall,
+	}
+	if wall > 0 {
+		out.TargetsPerSec = float64(targets) / wall.Seconds()
+	}
+
+	pauses := make([]time.Duration, 0, len(res.Targets))
+	var sum time.Duration
+	for _, ts := range res.Targets {
+		pauses = append(pauses, ts.Pause)
+		sum += ts.Pause
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	if n := len(pauses); n > 0 {
+		out.MeanPause = sum / time.Duration(n)
+		idx := (99*n + 99) / 100 // ceil(0.99 n)
+		if idx > n {
+			idx = n
+		}
+		out.P99Pause = pauses[idx-1]
+	}
+	return out, nil
+}

@@ -90,15 +90,26 @@ const (
 	CtrConnLive       = "patchserver.conns.live"
 	CtrDialRetries    = "patchserver.dial.retries"
 
+	// Fleet-rollout metrics (the orchestrator's wave scheduler and
+	// health gate).
+	CtrRolloutWaves           = "rollout.waves"
+	CtrRolloutWavesRolledBack = "rollout.waves.rolled_back"
+	CtrRolloutPatched         = "rollout.targets.patched"
+	CtrRolloutFailed          = "rollout.targets.failed"
+	CtrRolloutRolledBack      = "rollout.targets.rolled_back"
+	CtrRolloutResumeSkips     = "rollout.resume.skipped"
+
 	// FaultPrefix prefixes one counter per fired fault-injection point
 	// (e.g. "fault.smm.refuse").
 	FaultPrefix = "fault."
 
-	HistSMIPause     = "smi.pause_us"         // histogram: OS pause per SMI, µs
-	HistBatchSize    = "batch.size"           // histogram: members per delivered batch
-	HistAttempts     = "patch.attempts"       // histogram: delivery attempts per patch
-	HistDowntime     = "patch.downtime_us"    // histogram: per-patch SMM downtime, µs
-	HistBuildLatency = "patchserver.build_us" // histogram: double kernel build + diff, µs
+	HistSMIPause        = "smi.pause_us"            // histogram: OS pause per SMI, µs
+	HistBatchSize       = "batch.size"              // histogram: members per delivered batch
+	HistAttempts        = "patch.attempts"          // histogram: delivery attempts per patch
+	HistDowntime        = "patch.downtime_us"       // histogram: per-patch SMM downtime, µs
+	HistBuildLatency    = "patchserver.build_us"    // histogram: double kernel build + diff, µs
+	HistTargetPause     = "rollout.target_pause_us" // histogram: virtual SMM pause per rollout target, µs
+	HistRolloutBaseline = "rollout.baseline_us"     // histogram: canary mean per-patch downtime, µs
 )
 
 // DefaultTraceCapacity is the event-log size commands use unless told

@@ -1,0 +1,41 @@
+package options
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorMatchesSentinel(t *testing.T) {
+	err := Errorf("kshot.New", "WithVCPUs", "must be positive, got %d", -1)
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatal("option error does not match ErrInvalid")
+	}
+	var oe *Error
+	if !errors.As(err, &oe) {
+		t.Fatal("errors.As failed")
+	}
+	if oe.Constructor != "kshot.New" || oe.Option != "WithVCPUs" {
+		t.Fatalf("fields lost: %+v", oe)
+	}
+	if got, want := err.Error(), "kshot.New: WithVCPUs: must be positive, got -1"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestErrorSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("boot: %w", Errorf("kshot.NewRollout", "WithGrowthFactor", "must be > 1"))
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatal("wrapped option error does not match ErrInvalid")
+	}
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Option != "WithGrowthFactor" {
+		t.Fatal("wrapped errors.As failed")
+	}
+}
+
+func TestIsDoesNotMatchOtherErrors(t *testing.T) {
+	if errors.Is(Errorf("c", "o", "r"), errors.New("other")) {
+		t.Fatal("option error matched unrelated sentinel")
+	}
+}

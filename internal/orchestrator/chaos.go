@@ -1,0 +1,54 @@
+package orchestrator
+
+import (
+	"hash/fnv"
+
+	"kshot/internal/faultinject"
+)
+
+// FaultFraction builds a deterministic chaos schedule for
+// WithTargetFaults: frac of the fleet — selected by a seeded hash of
+// each target's ID, so the choice is a pure function of (seed, ID)
+// and independent of wave composition — receives a fault set firing
+// the given faults; every other target receives nil. Replaying the
+// same seed faults exactly the same targets.
+//
+//	// 3% of the fleet refuses its SMIs mid-rollout:
+//	orchestrator.WithTargetFaults(orchestrator.FaultFraction(seed, 0.03,
+//		orchestrator.SMIFaults(8)...))
+func FaultFraction(seed int64, frac float64, faults ...faultinject.Fault) func(Target) *faultinject.Set {
+	return func(t Target) *faultinject.Set {
+		h := fnv.New64a()
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(seed) >> (8 * i))
+		}
+		h.Write(b[:])
+		h.Write([]byte(t.ID))
+		// FNV's high bits barely move across short, similar IDs, so
+		// run the sum through a 64-bit avalanche finalizer before
+		// taking the top 53 bits → uniform float in [0, 1).
+		x := h.Sum64()
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		x *= 0xc4ceb9fe1a85ec53
+		x ^= x >> 33
+		u := float64(x>>11) / float64(1<<53)
+		if u >= frac {
+			return nil
+		}
+		return faultinject.New(faultinject.Exact(faults...))
+	}
+}
+
+// SMIFaults is the canonical mid-SMI chaos schedule: the chipset
+// refuses the target's first n SMI deliveries, so every delivery
+// attempt of a typical rollout run dies inside the SMM world switch.
+func SMIFaults(n int) []faultinject.Fault {
+	out := make([]faultinject.Fault, n)
+	for i := range out {
+		out[i] = faultinject.Fault{Point: faultinject.SMMRefuse, Call: i}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package orchestrator
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// planWaves fixes the full wave schedule up front, as a pure function
+// of (targets, options, seed): a canary wave, then a first real wave
+// of firstFrac of the fleet, then exponentially widening waves
+// (growth factor each), every wave failure-domain aware.
+//
+// The domain rule is the quorum constraint: a wave never carries a
+// quorum of any single failure domain, so a wave-wide fault (or the
+// wave's own rollback) can never take a domain below majority. A
+// domain of n targets contributes at most max(1, n/2) targets to one
+// wave; the max(1, …) concession is forced for one- and two-target
+// domains, which could otherwise never be scheduled.
+//
+// Targets are seeded-shuffled before assignment so wave composition
+// decorrelates from lexical ID order while staying replayable from
+// the seed alone; each wave's member list is then re-sorted so the
+// persisted plan is canonical.
+func planWaves(targets []Target, canary int, firstFrac, growth float64, seed int64) []Wave {
+	n := len(targets)
+	if n == 0 {
+		return nil
+	}
+
+	domainSize := make(map[string]int, 8)
+	for _, t := range targets {
+		domainSize[t.Domain]++
+	}
+	capFor := func(domain string) int {
+		c := domainSize[domain] / 2
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	order := append([]Target(nil), targets...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Wave size schedule: canary, then firstFrac of the fleet, then
+	// ×growth per wave.
+	size := canary
+	next := func() int {
+		s := size
+		size = int(float64(size) * growth)
+		if size <= s {
+			size = s + 1
+		}
+		return s
+	}
+	// After the canary, restart the ramp at the first-wave fraction.
+	firstWave := int(float64(n)*firstFrac + 0.999999)
+	if firstWave < 1 {
+		firstWave = 1
+	}
+
+	var waves []Wave
+	for len(order) > 0 {
+		want := next()
+		if len(waves) == 1 {
+			// The wave after the canary begins the percentage ramp.
+			want = firstWave
+			size = int(float64(firstWave) * growth)
+			if size <= firstWave {
+				size = firstWave + 1
+			}
+		}
+		inWave := make(map[string]int, 8)
+		var members []string
+		var rest []Target
+		for _, t := range order {
+			if len(members) < want && inWave[t.Domain] < capFor(t.Domain) {
+				inWave[t.Domain]++
+				members = append(members, t.ID)
+				continue
+			}
+			rest = append(rest, t)
+		}
+		sort.Strings(members)
+		waves = append(waves, Wave{Index: len(waves), Targets: members})
+		order = rest
+	}
+	return waves
+}

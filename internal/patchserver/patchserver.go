@@ -40,6 +40,7 @@ import (
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/obs"
+	"kshot/internal/options"
 	"kshot/internal/patch"
 	"kshot/internal/sgx"
 	"kshot/internal/sgxprep"
@@ -99,6 +100,10 @@ type TreeProvider func(version string) (*kernel.SourceTree, error)
 
 // Server tuning defaults.
 const (
+	// DefaultListenAddr is the listen address New uses when no
+	// WithListenAddr option is given: loopback, ephemeral port.
+	DefaultListenAddr = "127.0.0.1:0"
+
 	// DefaultIdleTimeout bounds how long a connection may sit between
 	// requests (and how long one response write may take) before the
 	// server reclaims it. A connected-but-silent client therefore costs
@@ -112,6 +117,8 @@ const (
 
 // serverConfig collects the ServerOption-tunable knobs.
 type serverConfig struct {
+	listenAddr    string
+	trees         TreeProvider
 	idleTimeout   time.Duration
 	maxConns      int
 	acceptWait    time.Duration
@@ -120,23 +127,69 @@ type serverConfig struct {
 	obs           *obs.Hooks
 }
 
-// ServerOption tunes a Server.
-type ServerOption func(*serverConfig)
+// ServerOption tunes a Server. Every With* validates its argument
+// eagerly; New reports the first rejected option as a typed
+// *options.Error matching options.ErrInvalid.
+type ServerOption func(*serverConfig) error
+
+func serverOptErr(option, format string, a ...any) error {
+	return options.Errorf("patchserver.New", option, format, a...)
+}
+
+// WithListenAddr sets the TCP listen address ("host:0" picks an
+// ephemeral port; DefaultListenAddr when the option is absent).
+// Setting two different addresses is a conflict.
+func WithListenAddr(addr string) ServerOption {
+	return func(c *serverConfig) error {
+		if addr == "" {
+			return serverOptErr("WithListenAddr", "address must not be empty")
+		}
+		if c.listenAddr != "" && c.listenAddr != addr {
+			return serverOptErr("WithListenAddr", "conflicting addresses %q and %q", c.listenAddr, addr)
+		}
+		c.listenAddr = addr
+		return nil
+	}
+}
+
+// WithTreeProvider sets the kernel source provider the server builds
+// patches from. New requires exactly one provider.
+func WithTreeProvider(tp TreeProvider) ServerOption {
+	return func(c *serverConfig) error {
+		if tp == nil {
+			return serverOptErr("WithTreeProvider", "provider must not be nil")
+		}
+		if c.trees != nil {
+			return serverOptErr("WithTreeProvider", "provider set twice")
+		}
+		c.trees = tp
+		return nil
+	}
+}
 
 // WithIdleTimeout sets the per-connection idle deadline (zero or
 // negative disables it — connections may then pin their handler
 // goroutine forever; see DefaultIdleTimeout).
 func WithIdleTimeout(d time.Duration) ServerOption {
-	return func(c *serverConfig) { c.idleTimeout = d }
+	return func(c *serverConfig) error {
+		c.idleTimeout = d
+		return nil
+	}
 }
 
 // WithMaxConns gates the server at n concurrently served connections.
 // When the gate is full the accept loop stops accepting (backpressure
 // through the listen backlog) until a slot frees, or — if an accept
 // wait is configured — sheds the next connection with a counted
-// refusal once the wait expires. n <= 0 means unlimited.
+// refusal once the wait expires. n == 0 means unlimited.
 func WithMaxConns(n int) ServerOption {
-	return func(c *serverConfig) { c.maxConns = n }
+	return func(c *serverConfig) error {
+		if n < 0 {
+			return serverOptErr("WithMaxConns", "must be >= 0, got %d", n)
+		}
+		c.maxConns = n
+		return nil
+	}
 }
 
 // WithAcceptWait bounds how long a full connection gate holds the
@@ -144,25 +197,40 @@ func WithMaxConns(n int) ServerOption {
 // (a "server at capacity" response). Zero — the default — waits
 // indefinitely: pure backpressure, no refusals.
 func WithAcceptWait(d time.Duration) ServerOption {
-	return func(c *serverConfig) { c.acceptWait = d }
+	return func(c *serverConfig) error {
+		if d < 0 {
+			return serverOptErr("WithAcceptWait", "must be >= 0, got %v", d)
+		}
+		c.acceptWait = d
+		return nil
+	}
 }
 
 // WithCacheCapacity bounds the build cache to n entries (0 uses
 // DefaultCacheCapacity, negative disables retention entirely —
 // single-flight deduplication of concurrent identical builds remains).
 func WithCacheCapacity(n int) ServerOption {
-	return func(c *serverConfig) { c.cacheCapacity = n }
+	return func(c *serverConfig) error {
+		c.cacheCapacity = n
+		return nil
+	}
 }
 
 // WithServerObserver installs observability hooks at construction.
 func WithServerObserver(ob *obs.Hooks) ServerOption {
-	return func(c *serverConfig) { c.obs = ob }
+	return func(c *serverConfig) error {
+		c.obs = ob
+		return nil
+	}
 }
 
 // WithServerFaultInjector installs a fault injection set at
 // construction (the chaos suite's server-side entry point).
 func WithServerFaultInjector(fi *faultinject.Set) ServerOption {
-	return func(c *serverConfig) { c.fi = fi }
+	return func(c *serverConfig) error {
+		c.fi = fi
+		return nil
+	}
 }
 
 // Server is the remote patch server.
@@ -217,22 +285,45 @@ type StatusReport struct {
 	Authentic bool
 }
 
-// NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral
-// port). Close it when done.
-func NewServer(addr string, trees TreeProvider, opts ...ServerOption) (*Server, error) {
+// New starts a server configured entirely through functional options.
+// WithTreeProvider is required; the listen address defaults to
+// DefaultListenAddr. Close the server when done.
+func New(opts ...ServerOption) (*Server, error) {
 	cfg := serverConfig{idleTimeout: DefaultIdleTimeout, cacheCapacity: DefaultCacheCapacity}
 	for _, o := range opts {
-		o(&cfg)
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.trees == nil {
+		return nil, serverOptErr("WithTreeProvider", "required: no tree provider configured")
+	}
+	if cfg.listenAddr == "" {
+		cfg.listenAddr = DefaultListenAddr
 	}
 	if cfg.cacheCapacity == 0 {
 		cfg.cacheCapacity = DefaultCacheCapacity
 	}
-	ln, err := net.Listen("tcp", addr)
+	return newServer(cfg)
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral
+// port). Close it when done.
+//
+// Deprecated: NewServer is the pre-functional-options constructor,
+// kept for compatibility. Use New with WithListenAddr and
+// WithTreeProvider.
+func NewServer(addr string, trees TreeProvider, opts ...ServerOption) (*Server, error) {
+	return New(append([]ServerOption{WithListenAddr(addr), WithTreeProvider(trees)}, opts...)...)
+}
+
+func newServer(cfg serverConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("patchserver: %w", err)
 	}
 	s := &Server{
-		ln: ln, trees: trees,
+		ln: ln, trees: cfg.trees,
 		idleTimeout: cfg.idleTimeout,
 		acceptWait:  cfg.acceptWait,
 		done:        make(chan struct{}),
@@ -725,18 +816,36 @@ type clientConfig struct {
 	obs            *obs.Hooks
 }
 
-// DialOption tunes a Client.
-type DialOption func(*clientConfig)
+// DialOption tunes a Client. Every With* validates its argument
+// eagerly; Dial reports the first rejected option as a typed
+// *options.Error matching options.ErrInvalid.
+type DialOption func(*clientConfig) error
+
+func dialOptErr(option, format string, a ...any) error {
+	return options.Errorf("patchserver.Dial", option, format, a...)
+}
 
 // WithDialTimeout bounds each TCP connect attempt.
 func WithDialTimeout(d time.Duration) DialOption {
-	return func(c *clientConfig) { c.dialTimeout = d }
+	return func(c *clientConfig) error {
+		if d < 0 {
+			return dialOptErr("WithDialTimeout", "must be >= 0, got %v", d)
+		}
+		c.dialTimeout = d
+		return nil
+	}
 }
 
 // WithDialRetries allows n additional dial attempts after a failed
 // connect, with exponential backoff between attempts.
 func WithDialRetries(n int) DialOption {
-	return func(c *clientConfig) { c.dialRetries = n }
+	return func(c *clientConfig) error {
+		if n < 0 {
+			return dialOptErr("WithDialRetries", "must be >= 0, got %d", n)
+		}
+		c.dialRetries = n
+		return nil
+	}
 }
 
 // WithRequestRetries allows n reconnect-and-replay attempts when a
@@ -748,38 +857,65 @@ func WithDialRetries(n int) DialOption {
 // reconnect, so callers holding a kcrypto session should only enable
 // this together with an attested hello (whose key the server caches).
 func WithRequestRetries(n int) DialOption {
-	return func(c *clientConfig) { c.requestRetries = n }
+	return func(c *clientConfig) error {
+		if n < 0 {
+			return dialOptErr("WithRequestRetries", "must be >= 0, got %d", n)
+		}
+		c.requestRetries = n
+		return nil
+	}
 }
 
 // WithRetryBackoff sets the base backoff before the first retry
 // (doubling per attempt) for both dial and request retries.
 func WithRetryBackoff(d time.Duration) DialOption {
-	return func(c *clientConfig) { c.retryBackoff = d }
+	return func(c *clientConfig) error {
+		if d < 0 {
+			return dialOptErr("WithRetryBackoff", "must be >= 0, got %v", d)
+		}
+		c.retryBackoff = d
+		return nil
+	}
 }
 
 // WithIOTimeout arms a deadline on every socket read and write (zero
 // disables; the server's idle deadline is then the only reaper).
 func WithIOTimeout(d time.Duration) DialOption {
-	return func(c *clientConfig) { c.ioTimeout = d }
+	return func(c *clientConfig) error {
+		if d < 0 {
+			return dialOptErr("WithIOTimeout", "must be >= 0, got %v", d)
+		}
+		c.ioTimeout = d
+		return nil
+	}
 }
 
 // WithClientWallClock sets the clock pacing retry backoff and injected
 // latency (real time when nil). The chaos suite passes timing.FakeWall
 // so retries never depend on the host clock.
 func WithClientWallClock(wc timing.WallClock) DialOption {
-	return func(c *clientConfig) { c.wall = wc }
+	return func(c *clientConfig) error {
+		c.wall = wc
+		return nil
+	}
 }
 
 // WithClientFaultInjector installs a fault injection set at dial time,
 // so dial-path faults (faultinject.DialError) can fire on the very
 // first connect.
 func WithClientFaultInjector(fi *faultinject.Set) DialOption {
-	return func(c *clientConfig) { c.fi = fi }
+	return func(c *clientConfig) error {
+		c.fi = fi
+		return nil
+	}
 }
 
 // WithClientObserver installs observability hooks at dial time.
 func WithClientObserver(ob *obs.Hooks) DialOption {
-	return func(c *clientConfig) { c.obs = ob }
+	return func(c *clientConfig) error {
+		c.obs = ob
+		return nil
+	}
 }
 
 // Client is the target machine's connection to the patch server. Its
@@ -821,7 +957,9 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 		retryBackoff: DefaultRetryBackoff,
 	}
 	for _, o := range opts {
-		o(&cfg)
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	conn, err := dialConn(ctx, addr, cfg, cfg.fi, cfg.wall, cfg.obs)
 	if err != nil {

@@ -13,9 +13,14 @@
 // ftrace-aware redirection, DH-keyed SGX→SMM transport, rollback, and
 // introspection — executes as real code against that machine.
 //
-// The typical flow mirrors the paper's Figure 2:
+// Every constructor in the package shares one configuration idiom:
+// functional options that validate eagerly and fail construction with
+// a typed *OptionError (matching ErrInvalidOption) the moment an
+// argument is out of range or two options conflict.
 //
-//	srv, _ := kshot.NewPatchServer("127.0.0.1:0", kshot.TreeProviderFor(entry))
+// The typical single-target flow mirrors the paper's Figure 2:
+//
+//	srv, _ := kshot.NewPatchServer(kshot.WithTreeProvider(kshot.TreeProviderFor(entry)))
 //	srv.RegisterPatch(entry.SourcePatch())
 //	sys, _ := kshot.New(
 //		kshot.WithVersion("4.4"),
@@ -29,12 +34,25 @@
 //
 //	batch, _ := sys.ApplyAll(ctx, cves, kshot.WithBatchSize(8))
 //
+// Whole fleets go through the rollout orchestrator, which drives a
+// CVE batch across many targets in staged canary waves, health-gating
+// each wave on the targets' own metrics and rolling back waves that
+// regress:
+//
+//	roll, _ := kshot.NewRollout(
+//		kshot.WithTargets(fleet),
+//		kshot.WithCVEs("CVE-2016-0728", "CVE-2017-7184"),
+//		kshot.WithProvisioner(kshot.SystemProvisioner(srv.Addr())),
+//	)
+//	result, _ := roll.Run(ctx)
+//
 // See the examples directory for runnable end-to-end scenarios and
 // bench_test.go for the harness regenerating every table and figure of
 // the paper's evaluation.
 package kshot
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -44,9 +62,30 @@ import (
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/mem"
+	"kshot/internal/options"
+	"kshot/internal/orchestrator"
 	"kshot/internal/patchserver"
 	"kshot/internal/workload"
 )
+
+// ---------------------------------------------------------------------------
+// Option errors — the vocabulary every constructor's With* options
+// share. A rejected option fails construction with a *OptionError
+// naming the constructor, the option, and the reason; all of them
+// match ErrInvalidOption under errors.Is.
+// ---------------------------------------------------------------------------
+
+// ErrInvalidOption classifies every eager option-validation failure
+// from New, NewPatchServer, NewRollout, and DialPatchServer.
+var ErrInvalidOption = options.ErrInvalid
+
+// OptionError is the typed rejection carrying the constructor and
+// option names; retrieve it with errors.As.
+type OptionError = options.Error
+
+// ---------------------------------------------------------------------------
+// System — booting and patching one simulated target machine.
+// ---------------------------------------------------------------------------
 
 // System is a provisioned KShot deployment on one simulated target
 // machine.
@@ -90,62 +129,152 @@ var (
 // retrieve it with errors.As.
 type StatusError = core.StatusError
 
-// Option configures New.
-type Option func(*Options)
+// Option configures New. Every With* validates its argument eagerly:
+// New reports the first rejected option as a *OptionError before any
+// hardware is simulated.
+type Option func(*Options) error
+
+func newErr(option, format string, a ...any) error {
+	return options.Errorf("kshot.New", option, format, a...)
+}
 
 // WithVersion selects the kernel version to boot ("3.14" or "4.4",
-// the default).
-func WithVersion(v string) Option { return func(o *Options) { o.Version = v } }
+// the default). Selecting two different versions is a conflict.
+func WithVersion(v string) Option {
+	return func(o *Options) error {
+		if v != "3.14" && v != "4.4" {
+			return newErr("WithVersion", "unsupported kernel version %q (want 3.14 or 4.4)", v)
+		}
+		if o.Version != "" && o.Version != v {
+			return newErr("WithVersion", "conflicting versions %q and %q", o.Version, v)
+		}
+		o.Version = v
+		return nil
+	}
+}
 
 // WithVCPUs sets the target machine's vCPU count (default 4).
-func WithVCPUs(n int) Option { return func(o *Options) { o.NumVCPUs = n } }
+func WithVCPUs(n int) Option {
+	return func(o *Options) error {
+		if n < 1 {
+			return newErr("WithVCPUs", "must be >= 1, got %d", n)
+		}
+		o.NumVCPUs = n
+		return nil
+	}
+}
 
 // WithExtraFiles adds subsystem source files to the base kernel tree —
 // the vulnerable code the benchmark kernels ship with. Repeated use
 // merges.
 func WithExtraFiles(files map[string]string) Option {
-	return func(o *Options) {
+	return func(o *Options) error {
+		if len(files) == 0 {
+			return newErr("WithExtraFiles", "no files given")
+		}
 		if o.ExtraFiles == nil {
 			o.ExtraFiles = make(map[string]string, len(files))
 		}
 		for name, src := range files {
+			if name == "" {
+				return newErr("WithExtraFiles", "empty file name")
+			}
 			o.ExtraFiles[name] = src
 		}
+		return nil
 	}
 }
 
-// WithServerAddr points the system at a remote patch server.
-func WithServerAddr(addr string) Option { return func(o *Options) { o.ServerAddr = addr } }
+// WithServerAddr points the system at a remote patch server. Pointing
+// one system at two different servers is a conflict.
+func WithServerAddr(addr string) Option {
+	return func(o *Options) error {
+		if addr == "" {
+			return newErr("WithServerAddr", "empty address")
+		}
+		if o.ServerAddr != "" && o.ServerAddr != addr {
+			return newErr("WithServerAddr", "conflicting addresses %q and %q", o.ServerAddr, addr)
+		}
+		o.ServerAddr = addr
+		return nil
+	}
+}
 
 // WithHashAlg selects the payload verification hash (default SHA-256).
-func WithHashAlg(alg HashAlg) Option { return func(o *Options) { o.HashAlg = alg } }
+func WithHashAlg(alg HashAlg) Option {
+	return func(o *Options) error {
+		if alg != HashSHA256 && alg != HashSDBM {
+			return newErr("WithHashAlg", "unknown hash algorithm %v", alg)
+		}
+		o.HashAlg = alg
+		return nil
+	}
+}
 
 // WithRand sets the entropy source for all key material (crypto/rand
 // by default; deterministic readers in tests).
-func WithRand(r io.Reader) Option { return func(o *Options) { o.Rand = r } }
+func WithRand(r io.Reader) Option {
+	return func(o *Options) error {
+		if r == nil {
+			return newErr("WithRand", "nil reader")
+		}
+		o.Rand = r
+		return nil
+	}
+}
 
 // WithActivenessCheck enables the SMM handler's conservative
 // activeness check: patches to functions currently executing on (or
 // returning into) some vCPU are refused with ErrTargetActive and can
 // be retried.
-func WithActivenessCheck(on bool) Option { return func(o *Options) { o.CheckActiveness = on } }
+func WithActivenessCheck(on bool) Option {
+	return func(o *Options) error {
+		o.CheckActiveness = on
+		return nil
+	}
+}
 
 // WithDialRetries allows the system's patch-server connections extra
 // TCP connect attempts with exponential backoff.
-func WithDialRetries(n int) Option { return func(o *Options) { o.DialRetries = n } }
+func WithDialRetries(n int) Option {
+	return func(o *Options) error {
+		if n < 0 {
+			return newErr("WithDialRetries", "must be >= 0, got %d", n)
+		}
+		o.DialRetries = n
+		return nil
+	}
+}
 
 // WithRequestRetries lets the system's patch-server connections
 // reconnect and replay a transport-failed request burst (safe because
 // the system's hellos are attested, so a reconnect converges on the
 // same channel key).
-func WithRequestRetries(n int) Option { return func(o *Options) { o.RequestRetries = n } }
+func WithRequestRetries(n int) Option {
+	return func(o *Options) error {
+		if n < 0 {
+			return newErr("WithRequestRetries", "must be >= 0, got %d", n)
+		}
+		o.RequestRetries = n
+		return nil
+	}
+}
 
 // WithDialBackoff sets the base backoff before the first dial or
 // request retry (doubling per attempt).
-func WithDialBackoff(d time.Duration) Option { return func(o *Options) { o.RetryBackoff = d } }
+func WithDialBackoff(d time.Duration) Option {
+	return func(o *Options) error {
+		if d < 0 {
+			return newErr("WithDialBackoff", "must be >= 0, got %v", d)
+		}
+		o.RetryBackoff = d
+		return nil
+	}
+}
 
 // ApplyOption tunes System.ApplyAll (batch size, fetch fan-out, retry
-// policy).
+// policy). Like every option in the package it validates eagerly:
+// ApplyAll rejects out-of-range tuning before starting the pipeline.
 type ApplyOption = core.ApplyOption
 
 // ApplyAll tuning options.
@@ -154,23 +283,36 @@ var (
 	WithFetchWorkers = core.WithFetchWorkers
 	WithMaxRetries   = core.WithMaxRetries
 	WithRetryBackoff = core.WithRetryBackoff
+	WithSyncFetch    = core.WithSyncFetch
 )
 
 // New boots a simulated target machine with the given options, locks
 // down SMM, attests and loads the preparation enclave, and registers
 // with the patch server.
 func New(opts ...Option) (*System, error) {
-	o := Options{Version: "4.4"}
+	var o Options
 	for _, opt := range opts {
-		opt(&o)
+		if opt == nil {
+			return nil, newErr("Option", "nil option")
+		}
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
 	}
 	return core.NewSystem(o)
 }
 
-// NewSystem boots a system from an assembled Options struct. It is the
-// pre-functional-options constructor, kept for compatibility; New is
-// preferred.
+// NewSystem boots a system from an assembled Options struct.
+//
+// Deprecated: use New with functional options, which validates
+// configuration eagerly and is where new knobs land. NewSystem remains
+// for callers that assemble Options imperatively and delegates to the
+// same construction path.
 func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
+
+// ---------------------------------------------------------------------------
+// Patch server & client — the trusted build side of the protocol.
+// ---------------------------------------------------------------------------
 
 // PatchServer is the remote, trusted patch build server.
 type PatchServer = patchserver.Server
@@ -184,12 +326,16 @@ type OSInfo = patchserver.OSInfo
 // TreeProvider supplies full kernel source trees per version.
 type TreeProvider = patchserver.TreeProvider
 
-// ServerOption tunes NewPatchServer: the build-cache bound, the
-// per-connection idle deadline, and the concurrency gate.
+// ServerOption configures NewPatchServer: the listen address, the
+// source trees served, the build-cache bound, the per-connection idle
+// deadline, and the concurrency gate.
 type ServerOption = patchserver.ServerOption
 
-// Patch server tuning options.
+// Patch server options. WithTreeProvider is required; WithListenAddr
+// defaults to an ephemeral localhost port.
 var (
+	WithListenAddr          = patchserver.WithListenAddr
+	WithTreeProvider        = patchserver.WithTreeProvider
 	WithServerMaxConns      = patchserver.WithMaxConns
 	WithServerAcceptWait    = patchserver.WithAcceptWait
 	WithServerIdleTimeout   = patchserver.WithIdleTimeout
@@ -209,18 +355,162 @@ var (
 	WithClientIOTimeout      = patchserver.WithIOTimeout
 )
 
-// NewPatchServer starts a patch server on addr ("host:0" picks an
-// ephemeral port). Built patch artifacts are cached and shared across
-// targets with the same kernel configuration; per-session encryption
-// stays per-client.
-func NewPatchServer(addr string, trees TreeProvider, opts ...ServerOption) (*PatchServer, error) {
-	return patchserver.NewServer(addr, trees, opts...)
+// NewPatchServer starts a patch server. WithTreeProvider supplies the
+// kernel sources it builds from (required); WithListenAddr picks the
+// TCP address ("host:0" — the default — takes an ephemeral port).
+// Built patch artifacts are cached and shared across targets with the
+// same kernel configuration; per-session encryption stays per-client.
+func NewPatchServer(opts ...ServerOption) (*PatchServer, error) {
+	return patchserver.New(opts...)
 }
 
 // DialPatchServer connects a client to a patch server.
 func DialPatchServer(addr string, opts ...DialOption) (*PatchClient, error) {
 	return patchserver.Dial(addr, opts...)
 }
+
+// ---------------------------------------------------------------------------
+// Fleet rollout — staged canary waves across many targets.
+// ---------------------------------------------------------------------------
+
+// Rollout is a configured staged rollout of one CVE batch across a
+// fleet of targets: canary wave, first percentage wave, exponentially
+// widening waves — each health-gated on the targets' own metrics and
+// rolled back in place when the gate fails.
+type Rollout = orchestrator.Rollout
+
+// RolloutOption configures NewRollout.
+type RolloutOption = orchestrator.Option
+
+// RolloutTarget is one fleet member, tagged with its failure domain;
+// the wave scheduler never puts a quorum of one domain in flight.
+type RolloutTarget = orchestrator.Target
+
+// Patcher is the per-target patching surface a rollout drives. A
+// *System is a Patcher; tests substitute fakes.
+type Patcher = orchestrator.Patcher
+
+// Provisioner turns a RolloutTarget into a live Patcher when the
+// target's wave starts. SystemProvisioner builds the standard one.
+type Provisioner = orchestrator.Provisioner
+
+// RolloutResult is a finished rollout's accounting: per-target states,
+// per-wave outcomes, and the canary baseline.
+type RolloutResult = orchestrator.Result
+
+// WaveResult is one wave's gated outcome.
+type WaveResult = orchestrator.WaveResult
+
+// Wave is one planned rollout stage.
+type Wave = orchestrator.Wave
+
+// RolloutState is the resumable rollout record a RolloutStore
+// persists; a new coordinator handed the same store picks up where
+// the last one crashed without re-patching completed targets.
+type RolloutState = orchestrator.State
+
+// TargetState is one target's recorded outcome within a rollout.
+type TargetState = orchestrator.TargetState
+
+// RolloutStatus is a target's position in the rollout lifecycle.
+type RolloutStatus = orchestrator.Status
+
+// Target lifecycle states.
+const (
+	RolloutPending    = orchestrator.StatusPending
+	RolloutPatched    = orchestrator.StatusPatched
+	RolloutFailed     = orchestrator.StatusFailed
+	RolloutRolledBack = orchestrator.StatusRolledBack
+)
+
+// RolloutStore persists rollout state across coordinator restarts.
+type RolloutStore = orchestrator.Store
+
+// RolloutMemStore is an in-memory RolloutStore — the determinism
+// witness in tests (Bytes exposes the exact persisted encoding).
+type RolloutMemStore = orchestrator.MemStore
+
+// RolloutFileStore is a file-backed RolloutStore with atomic saves.
+type RolloutFileStore = orchestrator.FileStore
+
+// NewRolloutFileStore builds a RolloutStore writing to path.
+func NewRolloutFileStore(path string) *RolloutFileStore {
+	return orchestrator.NewFileStore(path)
+}
+
+// Typed failure classes for Rollout.Run; branch with errors.Is.
+var (
+	ErrWaveRolledBack = orchestrator.ErrWaveRolledBack
+	ErrRolloutHalted  = orchestrator.ErrRolloutHalted
+	ErrStateMismatch  = orchestrator.ErrStateMismatch
+)
+
+// WaveError reports one rolled-back wave; HaltError reports an early
+// stop. Retrieve them with errors.As.
+type (
+	WaveError = orchestrator.WaveError
+	HaltError = orchestrator.HaltError
+)
+
+// Rollout options. WithTargets, WithCVEs, and WithProvisioner are
+// required; the rest tune wave shape, health gating, chaos, and
+// persistence.
+var (
+	WithTargets            = orchestrator.WithTargets
+	WithCVEs               = orchestrator.WithCVEs
+	WithProvisioner        = orchestrator.WithProvisioner
+	WithCanarySize         = orchestrator.WithCanarySize
+	WithFirstWaveFraction  = orchestrator.WithFirstWaveFraction
+	WithGrowthFactor       = orchestrator.WithGrowthFactor
+	WithWaveConcurrency    = orchestrator.WithWaveConcurrency
+	WithSeed               = orchestrator.WithSeed
+	WithPauseBudget        = orchestrator.WithPauseBudget
+	WithRegressFactor      = orchestrator.WithRegressFactor
+	WithUnhealthyTolerance = orchestrator.WithUnhealthyTolerance
+	WithHaltThreshold      = orchestrator.WithHaltThreshold
+	WithTargetBatchSize    = orchestrator.WithTargetBatchSize
+	WithTargetFetchWorkers = orchestrator.WithTargetFetchWorkers
+	WithTargetSyncFetch    = orchestrator.WithTargetSyncFetch
+	WithStateStore         = orchestrator.WithStateStore
+	WithTargetFaults       = orchestrator.WithTargetFaults
+	WithWallClock          = orchestrator.WithWallClock
+	WithRolloutObserver    = orchestrator.WithObserver
+	WithProgress           = orchestrator.WithProgress
+)
+
+// FaultFraction builds a deterministic chaos schedule for
+// WithTargetFaults: a seeded hash selects frac of the fleet to
+// receive the given faults, replayably. SMIFaults is the canonical
+// mid-SMI schedule (the chipset refuses the first n SMI deliveries).
+var (
+	FaultFraction = orchestrator.FaultFraction
+	SMIFaults     = orchestrator.SMIFaults
+)
+
+// NewRollout builds a staged rollout. The wave plan is fixed here —
+// a pure function of the fleet, the options, and the seed — and, when
+// WithStateStore finds persisted state for this rollout, construction
+// adopts it so Run resumes instead of starting over.
+func NewRollout(opts ...RolloutOption) (*Rollout, error) {
+	return orchestrator.New(opts...)
+}
+
+// SystemProvisioner is the standard fleet provisioner: each target
+// boots a fresh simulated System dialed at the shared patch server,
+// with any extra New options applied after the address.
+func SystemProvisioner(serverAddr string, opts ...Option) Provisioner {
+	return func(ctx context.Context, t RolloutTarget) (Patcher, error) {
+		sys, err := New(append([]Option{WithServerAddr(serverAddr)}, opts...)...)
+		if err != nil {
+			return nil, fmt.Errorf("provision %s: %w", t.ID, err)
+		}
+		return sys, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CVE benchmark, kernels & workloads — the paper's evaluation inputs.
+// ---------------------------------------------------------------------------
 
 // CVE is one benchmark vulnerability: vulnerable subsystem source, its
 // fix, and an exploit probe.
@@ -272,6 +562,10 @@ const (
 func NewWorkload(sys *System, kind WorkloadKind) *Workload {
 	return workload.New(sys.Kernel, kind)
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial demos — the kernel-resident attacker of §V-D.
+// ---------------------------------------------------------------------------
 
 // Rootkit simulates a kernel-resident attacker on a System: it
 // snapshots the entry bytes of chosen kernel functions and can later

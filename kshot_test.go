@@ -51,7 +51,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark registry missing Dirty COW")
 	}
-	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entry))
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entry)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestPublicAPIRegistry(t *testing.T) {
 
 func TestPublicAPIWorkload(t *testing.T) {
 	entry, _ := LookupCVE("CVE-2014-0196")
-	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entry))
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entry)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestRQ1UnderLoad(t *testing.T) {
 			if !ok {
 				t.Fatal("missing entry")
 			}
-			srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entry))
+			srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entry)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -193,7 +193,7 @@ func TestRQ1UnderLoad(t *testing.T) {
 // WithExtraFiles, and that the built system honours them.
 func TestFunctionalOptions(t *testing.T) {
 	entry, _ := LookupCVE("CVE-2014-0196")
-	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entry))
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entry)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestFunctionalOptions(t *testing.T) {
 // TestFunctionalOptionsDefaults: New with only a server address boots
 // the default 4.4 kernel on the default vCPU count.
 func TestFunctionalOptionsDefaults(t *testing.T) {
-	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor())
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestPublicAPIApplyAll(t *testing.T) {
 		entries[i] = e
 		files[e.File] = e.Vuln
 	}
-	srv, err := NewPatchServer("127.0.0.1:0", TreeProviderFor(entries...))
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entries...)))
 	if err != nil {
 		t.Fatal(err)
 	}
