@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover api apicheck
+.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover api apicheck corpus corpussmoke
 
 # Per-target budget for the fuzz smoke pass (see `fuzz` below).
 FUZZTIME ?= 30s
@@ -79,5 +79,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzKSBTParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/smmpatch/
 	$(GO) test -fuzz=FuzzSparseMemAccess -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
 	$(GO) test -fuzz=FuzzServerFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/patchserver/
+	$(GO) test -fuzz=FuzzCorpusCase -fuzztime=$(FUZZTIME) -run '^$$' ./internal/corpusgen/
+
+# Generated-corpus differential verification. `corpussmoke` is the CI
+# gate: a fixed-seed 64-case sweep under -race. `corpus` is the full
+# acceptance sweep — 256 cases, every one driven end-to-end.
+corpussmoke:
+	$(GO) test -race -run TestGeneratedCorpusSmoke ./internal/evalharness/
+
+corpus:
+	$(GO) run ./cmd/kshot-corpus verify -seed 0xC0DE -count 256 -e2e -1
 
 check: build vet test

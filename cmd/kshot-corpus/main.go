@@ -1,0 +1,163 @@
+// Command kshot-corpus works with the seeded synthetic CVE corpus:
+// generating cases, differentially verifying them against the live
+// patch pipeline, and shrinking a sweep failure to its one-seed
+// reproducer.
+//
+// Usage:
+//
+//	kshot-corpus generate [-seed N] [-count N] [-dump DIR]
+//	kshot-corpus verify   [-seed N] [-count N] [-e2e N] [-workers N]
+//	kshot-corpus shrink   -seed N [-e2e]
+//
+// generate prints the deterministic corpus manifest (same seed ⇒
+// byte-identical output; pipe two runs through cmp to check) and, with
+// -dump, writes each case's vulnerable/fixed sources to DIR.
+//
+// verify runs the differential sweep: every case is checked at the
+// analysis level (patch build, classification, trampoline math), and
+// the first -e2e cases are additionally driven through a live boot →
+// exploit → apply → exploit → rollback → frame-diff cycle (-e2e -1
+// for all of them).
+//
+// shrink regenerates ONE case from the seed a divergence report names
+// and verifies just that case with full detail — the minimized,
+// reproducible failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kshot/internal/corpusgen"
+	"kshot/internal/evalharness"
+	"kshot/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kshot-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: kshot-corpus <generate|verify|shrink> [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return runGenerate(args[1:])
+	case "verify":
+		return runVerify(args[1:])
+	case "shrink":
+		return runShrink(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want generate, verify, or shrink)", args[0])
+	}
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("kshot-corpus generate", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0xC0DE, "corpus master seed")
+	count := fs.Int("count", 64, "number of cases")
+	dump := fs.String("dump", "", "directory to write per-case .vuln.asm/.fixed.asm sources")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cases := corpusgen.Generate(corpusgen.Config{Seed: *seed, Count: *count})
+	fmt.Print(corpusgen.Manifest(cases))
+	if *dump == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*dump, 0o755); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		base := filepath.Join(*dump, strings.TrimSuffix(filepath.Base(c.File), ".asm"))
+		if err := os.WriteFile(base+".vuln.asm", []byte(c.Vuln), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".fixed.asm", []byte(c.Fixed), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d case sources to %s\n", len(cases), *dump)
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("kshot-corpus verify", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0xC0DE, "corpus master seed")
+	count := fs.Int("count", 256, "number of cases")
+	e2e := fs.Int("e2e", -1, "cases to drive end-to-end through a live system (-1: all)")
+	workers := fs.Int("workers", 8, "verification concurrency")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stats := evalharness.RunCorpusSweep(evalharness.SweepOptions{
+		Seed: *seed, Count: *count, E2ECount: *e2e, Workers: *workers,
+	})
+	if err := evalharness.CorpusTable(stats).Render(os.Stdout); err != nil {
+		return err
+	}
+	if n := len(stats.Divergences); n > 0 {
+		fmt.Printf("\n%d divergence(s):\n", n)
+		for _, d := range stats.Divergences {
+			fmt.Println(" ", d)
+		}
+		return fmt.Errorf("%d of %d cases diverged", n, stats.Cases)
+	}
+	return nil
+}
+
+func runShrink(args []string) error {
+	fs := flag.NewFlagSet("kshot-corpus shrink", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "case seed from a divergence report (required)")
+	e2e := fs.Bool("e2e", true, "include the live end-to-end stage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !seedFlagSet(fs) {
+		return fmt.Errorf("shrink requires -seed (the value a divergence report names)")
+	}
+	c := corpusgen.GenCase(*seed)
+	t := report.NewTable(fmt.Sprintf("Case %s (seed %#016x)", c.ID, c.Seed), "Field", "Value")
+	t.AddRow("archetype", c.Archetype)
+	t.AddRow("config", fmt.Sprintf("%s ftrace=%v inline=%v", c.Version, c.Ftrace, c.Inline))
+	t.AddRow("expected types", c.Expect.TypesString())
+	t.AddRow("expected funcs", strings.Join(c.Expect.FuncNames(), ", "))
+	if len(c.Expect.NewGlobals) > 0 {
+		t.AddRow("new globals", strings.Join(c.Expect.NewGlobals, ", "))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	res := evalharness.VerifyCase(c, *e2e)
+	if len(res.Divergences) == 0 {
+		fmt.Println("\ncase verifies cleanly — no divergence at this seed")
+		return nil
+	}
+	fmt.Printf("\n%d divergence(s):\n", len(res.Divergences))
+	for _, d := range res.Divergences {
+		fmt.Printf("  stage %-16s %s\n", d.Stage, d.Detail)
+	}
+	fmt.Println("\nvulnerable source:")
+	fmt.Println(c.Vuln)
+	fmt.Println("fixed source:")
+	fmt.Println(c.Fixed)
+	return fmt.Errorf("case %s diverges", c.ID)
+}
+
+func seedFlagSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}

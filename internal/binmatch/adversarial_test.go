@@ -1,0 +1,173 @@
+// Adversarial binary-matching tests: generated kernels whose layout is
+// deliberately hostile to naive byte/address comparison, asserted
+// against the corpus generator's ground truth. External test package
+// so it can import corpusgen (which depends on patch → binmatch).
+package binmatch_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"kshot/internal/binmatch"
+	"kshot/internal/corpusgen"
+	"kshot/internal/isa"
+	"kshot/internal/kernel"
+)
+
+func buildImage(t *testing.T, cfg kernel.BuildConfig, file, src string) *isa.Image {
+	t.Helper()
+	st, err := kernel.BaseTreeWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file != "" {
+		st.AddFile(file, src)
+	}
+	img, _, err := st.Build()
+	if err != nil {
+		t.Fatalf("build (%+v): %v", cfg, err)
+	}
+	return img
+}
+
+func sorted(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// TestDiffImagesMatchesGeneratorGroundTruth builds both variants of 48
+// generated cases and requires the binary diff to agree exactly with
+// the generator's prediction: Changed is precisely the replaced
+// functions, Added precisely the new ones. The generated kernels are
+// adversarial on purpose — filler functions and shared helpers sit
+// AFTER the changed code, so every one of their bytes lands at a
+// shifted address in the fixed build; flagging any of them means the
+// matcher is comparing positions, not code.
+func TestDiffImagesMatchesGeneratorGroundTruth(t *testing.T) {
+	for _, c := range corpusgen.Generate(corpusgen.Config{Seed: 0xAD7E_2541, Count: 48}) {
+		cfg := kernel.BuildConfig{Version: c.Version, Ftrace: c.Ftrace, Inline: c.Inline}
+		pre := buildImage(t, cfg, c.File, c.Vuln)
+		post := buildImage(t, cfg, c.File, c.Fixed)
+		d, err := binmatch.DiffImages(pre, post)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+
+		var wantChanged, wantAdded []string
+		for name, fe := range c.Expect.Funcs {
+			if fe.New {
+				wantAdded = append(wantAdded, name)
+			} else {
+				wantChanged = append(wantChanged, name)
+			}
+		}
+		sort.Strings(wantChanged)
+		sort.Strings(wantAdded)
+
+		if got := sorted(d.Changed); strings.Join(got, ",") != strings.Join(wantChanged, ",") {
+			t.Errorf("%s (arch %s, seed %#x): Changed = %v, generator ground truth %v",
+				c.ID, c.Archetype, c.Seed, got, wantChanged)
+		}
+		if got := sorted(d.Added); strings.Join(got, ",") != strings.Join(wantAdded, ",") {
+			t.Errorf("%s (arch %s, seed %#x): Added = %v, generator ground truth %v",
+				c.ID, c.Archetype, c.Seed, got, wantAdded)
+		}
+		if len(d.Removed) != 0 {
+			t.Errorf("%s: spurious removals %v", c.ID, d.Removed)
+		}
+	}
+}
+
+// TestDiffImagesFtracePrologueIsARealDiff compares the same source
+// built with and without ftrace. The 5-byte prologue is a genuine byte
+// difference in every traced function — the matcher must flag all of
+// them (this asymmetry is exactly why the patch server rebuilds with
+// the target's attested configuration instead of diffing across
+// configs), while notrace functions, identical modulo address shifts,
+// must stay unflagged.
+func TestDiffImagesFtracePrologueIsARealDiff(t *testing.T) {
+	on := buildImage(t, kernel.BuildConfig{Version: "4.4", Ftrace: true, Inline: true}, "", "")
+	off := buildImage(t, kernel.BuildConfig{Version: "4.4", Ftrace: false, Inline: true}, "", "")
+	d, err := binmatch.DiffImages(off, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	changed := make(map[string]bool, len(d.Changed))
+	for _, n := range d.Changed {
+		changed[n] = true
+	}
+	for _, s := range on.Symbols.Funcs() {
+		if s.Name == "__fentry__" {
+			continue // only exists in the traced build
+		}
+		if s.Traced && !changed[s.Name] {
+			t.Errorf("traced function %s not flagged: prologue bytes are a real diff", s.Name)
+		}
+		if !s.Traced && changed[s.Name] {
+			t.Errorf("notrace function %s flagged: it is byte-identical modulo address shifts", s.Name)
+		}
+	}
+	added := sorted(d.Added)
+	if len(added) != 1 || added[0] != "__fentry__" {
+		t.Errorf("Added = %v, want only the __fentry__ stub", added)
+	}
+}
+
+// TestDiffImagesInlineCalleeOnlyChange takes a generated
+// validator-archetype case and builds its two variants under BOTH
+// inlining configs. With inlining on, the changed helper has no symbol
+// and the diff must surface only the call sites its body was expanded
+// into; with inlining off, the helper is a standalone symbol and must
+// be the only flagged function.
+func TestDiffImagesInlineCalleeOnlyChange(t *testing.T) {
+	var c *corpusgen.Case
+	for seed := uint64(0); seed < 4096; seed++ {
+		if g := corpusgen.GenCase(seed); g.Archetype == corpusgen.ArchValidator {
+			c = g
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no validator case in the first 4096 seeds")
+	}
+	valid := "" // the inline validator's symbol name (prefix + "valid")
+	for name := range c.Expect.Funcs {
+		if i := strings.Index(name, "valid"); i >= 0 {
+			valid = name[:i+len("valid")]
+			break
+		}
+	}
+	if valid == "" {
+		t.Fatalf("cannot derive validator name from expectation %v", c.Expect.FuncNames())
+	}
+
+	for _, inline := range []bool{true, false} {
+		cfg := kernel.BuildConfig{Version: c.Version, Ftrace: c.Ftrace, Inline: inline}
+		d, err := binmatch.DiffImages(
+			buildImage(t, cfg, c.File, c.Vuln),
+			buildImage(t, cfg, c.File, c.Fixed))
+		if err != nil {
+			t.Fatalf("inline=%v: %v", inline, err)
+		}
+		if inline {
+			if len(d.Changed) == 0 {
+				t.Fatal("inline=true: no call sites flagged for an inlined-callee-only change")
+			}
+			for _, n := range d.Changed {
+				if !strings.HasPrefix(n, valid+"_site") {
+					t.Errorf("inline=true: flagged %s, want only %s_site* call sites", n, valid)
+				}
+			}
+		} else {
+			if len(d.Changed) != 1 || d.Changed[0] != valid {
+				t.Errorf("inline=false: Changed = %v, want exactly [%s]", d.Changed, valid)
+			}
+		}
+		if len(d.Added)+len(d.Removed) != 0 {
+			t.Errorf("inline=%v: spurious added/removed %v/%v", inline, d.Added, d.Removed)
+		}
+	}
+}

@@ -55,6 +55,14 @@ type Options struct {
 	// vulnerable code the benchmark kernels ship with.
 	ExtraFiles map[string]string
 
+	// DisableFtrace and DisableInline flip the kernel build config off
+	// its defaults (both features on). The generated-corpus sweeps boot
+	// every (ftrace × inline) combination; the patch server rebuilds
+	// with whatever config the target attests, so patches stay
+	// address-compatible either way.
+	DisableFtrace bool
+	DisableInline bool
+
 	// ServerAddr is the remote patch server's TCP address.
 	ServerAddr string
 
@@ -170,7 +178,11 @@ func NewSystem(opts Options) (*System, error) {
 	}
 
 	// Build and boot the (vulnerable) kernel.
-	tree, err := kernel.BaseTree(opts.Version)
+	tree, err := kernel.BaseTreeWithConfig(kernel.BuildConfig{
+		Version: opts.Version,
+		Ftrace:  !opts.DisableFtrace,
+		Inline:  !opts.DisableInline,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,372 @@
+package corpusgen
+
+import (
+	"fmt"
+	"strings"
+
+	"kshot/internal/patch"
+)
+
+// emitter accumulates the vulnerable and fixed source texts for one
+// case while recording the expectation. All randomness is drawn from
+// the case rng in a fixed order, so emission is deterministic.
+type emitter struct {
+	c *Case
+	r *rng
+	p string // unique per-case symbol prefix ("g<seed hex>_")
+
+	vuln, fixed strings.Builder
+}
+
+// both appends text present identically in the vulnerable and fixed
+// variants; diff appends variant-specific text.
+func (em *emitter) both(s string)    { em.vuln.WriteString(s); em.fixed.WriteString(s) }
+func (em *emitter) diff(v, f string) { em.vuln.WriteString(v); em.fixed.WriteString(f) }
+
+// expect records the prediction for one patched function. traceable
+// says whether the function would carry an ftrace prologue when the
+// build has tracing on (i.e. it is not marked notrace); new payloads
+// never report Traced because they have no counterpart in the running
+// kernel.
+func (em *emitter) expect(name string, t patch.Type, isNew, traceable bool) {
+	em.c.Expect.Funcs[name] = FuncExpect{
+		Type:   t,
+		New:    isNew,
+		Traced: !isNew && em.c.Ftrace && traceable,
+	}
+}
+
+// pad emits n filler instructions, varying function size (and
+// therefore payload bytes and every later symbol's address).
+func pad(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("    addi r9, 1\n")
+	}
+	return b.String()
+}
+
+// emit builds the whole case: header, data-layout noise, the archetype
+// functions, then address-shifting fillers and shared call-graph
+// helpers (a notrace leaf and a bounded-recursion function).
+func (em *emitter) emit() {
+	c := em.c
+	em.both(fmt.Sprintf("; %s — generated case (archetype %s, seed %#016x)\n", c.ID, c.Archetype, c.Seed))
+
+	// Global-data layout noise: 0–3 extra globals of mixed sizes,
+	// identical in both variants, shifting the data segment around the
+	// archetype's own globals.
+	sizes := []int{8, 16, 32, 64}
+	for i, n := 0, em.r.intn(4); i < n; i++ {
+		em.both(fmt.Sprintf(".global %spad%d %d\n", em.p, i, sizes[em.r.intn(len(sizes))]))
+	}
+
+	helpersFirst := em.r.flag()
+	if helpersFirst {
+		em.helpers()
+	}
+
+	switch c.Archetype {
+	case ArchBounds:
+		em.boundsFunc(em.p+"nwrite", em.r.flag(), em.r.flag(), em.r.intn(24))
+	case ArchLeak:
+		em.leakFunc(em.p+"report", em.r.flag(), em.r.intn(24))
+	case ArchValidator:
+		em.validator(1, 1+em.r.intn(3), em.r.intn(12))
+	case ArchChain:
+		em.validator(2, 1+em.r.intn(3), em.r.intn(12))
+	case ArchCached:
+		em.cached(em.r.intn(16))
+	case ArchNewFn:
+		em.newFn(em.r.flag(), em.r.intn(20))
+	case ArchRecFix:
+		em.recFix(em.r.intn(12))
+	case ArchCombo12:
+		em.boundsFunc(em.p+"nwrite", em.r.flag(), em.r.flag(), em.r.intn(16))
+		em.validator(1, 1+em.r.intn(2), em.r.intn(8))
+	case ArchCombo13:
+		em.boundsFunc(em.p+"nwrite", em.r.flag(), em.r.flag(), em.r.intn(16))
+		em.cached(em.r.intn(12))
+	}
+
+	// Filler functions AFTER the changed code: their bytes are
+	// identical in both builds but their addresses shift whenever the
+	// fix changes an earlier function's size — the
+	// identical-bytes-at-different-addresses case binary matching must
+	// not flag.
+	for i, n := 0, em.r.intn(4); i < n; i++ {
+		em.both(fmt.Sprintf("\n.func %sfill%d\n%s    movi r0, %d\n    ret\n.endfunc\n",
+			em.p, i, pad(1+em.r.intn(20)), i+1))
+	}
+	if !helpersFirst {
+		em.helpers()
+	}
+}
+
+// helpers emits the shared call-graph shape: a notrace leaf the
+// archetypes can fan out to, and a self-recursive (never patched)
+// function so the kernel's call graph contains a cycle.
+func (em *emitter) helpers() {
+	em.both(fmt.Sprintf(`
+.func %[1]sleaf notrace       ; (x) -> x+3
+    addi r1, 3
+    mov r0, r1
+    ret
+.endfunc
+
+.func %[1]srecur              ; (n) -> n + (n-1) + ... + 0
+    cmpi r1, 0
+    jnz .more
+    movi r0, 0
+    ret
+.more:
+    push r1
+    subi r1, 1
+    call %[1]srecur
+    pop r1
+    add r0, r1
+    ret
+.endfunc
+`, em.p))
+}
+
+// boundsFunc is the Type 1 missing-bounds-check archetype: the
+// function writes an attacker-indexed slot of an 8-word buffer, and
+// only the fixed variant rejects indexes past the end (index 8 lands
+// on the adjacent canary). Optionally notrace (moving the trampoline
+// to the function entry) and optionally fanning out to the leaf
+// helper.
+func (em *emitter) boundsFunc(fn string, notrace, callLeaf bool, padN int) {
+	attr := ""
+	if notrace {
+		attr = " notrace"
+	}
+	pre := ""
+	if callLeaf {
+		pre = "    push r1\n    mov r1, r2\n    call " + em.p + "leaf\n    mov r2, r0\n    pop r1\n"
+	}
+	check := "    cmpi r1, 8\n    jl .inbounds\n    movi r0, 14\n    ret\n.inbounds:\n"
+	body := func(chk string) string {
+		return fmt.Sprintf(`
+.global %[1]s_buf 64
+.data   %[1]s_canary 37 13 00 00 00 00 00 00
+
+.func %[1]s%[2]s              ; (idx, val) -> 0 ok / 14 EFAULT
+%[3]s%[4]s    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+%[5]s    movi r0, 0
+    ret
+.endfunc
+`, fn, attr, pre, chk, pad(padN))
+	}
+	em.diff(body(""), body(check))
+	em.expect(fn, patch.Type1, false, !notrace)
+}
+
+// leakFunc is the Type 1 information-leak archetype: a crafted request
+// (0xdead) reads out a secret global until the fix closes the debug
+// path.
+func (em *emitter) leakFunc(fn string, notrace bool, padN int) {
+	attr := ""
+	if notrace {
+		attr = " notrace"
+	}
+	check := "    cmpi r1, 57005\n    jnz .serve\n    movi r0, 0\n    ret\n.serve:\n"
+	body := func(chk string) string {
+		return fmt.Sprintf(`
+.data %[1]s_secret 5a a5 5a a5 00 00 00 00
+
+.func %[1]s%[2]s              ; (req) -> per-request data
+%[3]s    cmpi r1, 57005        ; 0xdead: internal debug path
+    jnz .normal
+    loadg r0, %[1]s_secret
+    ret
+.normal:
+%[4]s    mov r0, r1
+    addi r0, 1
+    ret
+.endfunc
+`, fn, attr, chk, pad(padN))
+	}
+	em.diff(body(""), body(check))
+	em.expect(fn, patch.Type1, false, !notrace)
+}
+
+// validator is the inlining archetype: an inline validator (depth 1)
+// or an inline validator delegating to an inline inner check (depth 2)
+// whose fix implicates every call site when the build inlines — the
+// classification flips with the build config:
+//
+//   - inlining on:  the changed helper emits no symbol; every site is
+//     patched as Type 2;
+//   - inlining off: the changed helper is a standalone Type 1 target
+//     and the sites stay untouched.
+func (em *emitter) validator(depth, sites, padN int) {
+	v := em.p + "valid"
+	changed := v
+	vulnBody := "    movi r0, 1\n"
+	fixedBody := "    movi r0, 0\n    cmpi r1, 8\n    jge .end\n    movi r0, 1\n.end:\n"
+	if depth == 2 {
+		inner := em.p + "inner"
+		changed = inner
+		fn := func(body string) string {
+			return fmt.Sprintf("\n.func %s inline       ; (len) -> 1 valid / 0 invalid\n%s%s    ret\n.endfunc\n",
+				inner, body, pad(padN))
+		}
+		em.diff(fn(vulnBody), fn(fixedBody))
+		em.both(fmt.Sprintf("\n.func %s inline       ; (len) -> inner verdict\n    call %s\n    ret\n.endfunc\n", v, inner))
+	} else {
+		fn := func(body string) string {
+			return fmt.Sprintf("\n.func %s inline       ; (len) -> 1 valid / 0 invalid\n%s%s    ret\n.endfunc\n",
+				v, body, pad(padN))
+		}
+		em.diff(fn(vulnBody), fn(fixedBody))
+	}
+
+	em.both(fmt.Sprintf("\n.global %[1]s_buf 64\n.data   %[1]s_canary 37 13 00 00 00 00 00 00\n", v))
+	for i := 1; i <= sites; i++ {
+		em.both(fmt.Sprintf(`
+.func %[1]s_site%[2]d         ; (len, val) -> 0 ok / 14 EFAULT
+    push r1
+    call %[1]s
+    pop r1
+    cmpi r0, 0
+    jnz .write
+    movi r0, 14
+    ret
+.write:
+    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+    movi r0, 0
+    ret
+.endfunc
+`, v, i))
+	}
+
+	if em.c.Inline {
+		for i := 1; i <= sites; i++ {
+			em.expect(fmt.Sprintf("%s_site%d", v, i), patch.Type2, false, true)
+		}
+	} else {
+		em.expect(changed, patch.Type1, false, true)
+	}
+}
+
+// cached is the Type 3 struct-extension archetype: the fix adds a new
+// global (the cached field), an initializer that populates it, and a
+// clamp in the consumer — both patched functions reference the edited
+// global, so both classify as Type 3.
+func (em *emitter) cached(padN int) {
+	base := em.p + "state"
+	consumer := em.p + "consume"
+	initFn := em.p + "initcache"
+	em.diff("", fmt.Sprintf("\n.data %s_cached 00 01 00 00 00 00 00 00\n", base)) // 256
+
+	clamp := fmt.Sprintf("    loadg r2, %s_cached\n    cmp r0, r2\n    jle .fine\n    mov r0, r2\n.fine:\n", base)
+	cBody := func(cl string) string {
+		return fmt.Sprintf("\n.func %s              ; (v) -> sanitized v\n    mov r0, r1\n    add r0, r1\n%s%s    ret\n.endfunc\n",
+			consumer, cl, pad(padN))
+	}
+	em.diff(cBody(""), cBody(clamp))
+
+	iBody := func(store string) string {
+		return fmt.Sprintf("\n.func %s              ; initialize cached state\n%s%s    ret\n.endfunc\n",
+			initFn, store, pad(padN))
+	}
+	em.diff(iBody("    movi r0, 0\n"), iBody(fmt.Sprintf("    movi r0, 256\n    storeg %s_cached, r0\n", base)))
+
+	em.c.Expect.NewGlobals = append(em.c.Expect.NewGlobals, base+"_cached")
+	em.expect(consumer, patch.Type3, false, true)
+	em.expect(initFn, patch.Type3, false, true)
+}
+
+// newFn is the added-function archetype: the fix routes the vulnerable
+// write through a brand-new check function, which ships as a new
+// payload (no trampoline) alongside the Type 1 patch to the caller.
+func (em *emitter) newFn(notraceCheck bool, padN int) {
+	fn := em.p + "ioctl"
+	chk := em.p + "check"
+	attr := ""
+	if notraceCheck {
+		attr = " notrace"
+	}
+	storeBody := fmt.Sprintf(`    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+%[2]s    movi r0, 0
+    ret
+`, fn, pad(padN))
+	head := fmt.Sprintf("\n.global %[1]s_buf 64\n.data   %[1]s_canary 37 13 00 00 00 00 00 00\n", fn)
+	vuln := fmt.Sprintf("%s\n.func %s              ; (idx, val) -> 0 ok / 14 EFAULT\n%s.endfunc\n", head, fn, storeBody)
+	fixed := fmt.Sprintf(`%s
+.func %[2]s              ; (idx, val) -> 0 ok / 14 EFAULT
+    call %[3]s
+    cmpi r0, 0
+    jnz .ok
+    movi r0, 14
+    ret
+.ok:
+%[4]s.endfunc
+
+.func %[3]s%[5]s          ; (idx) -> 1 in bounds / 0 out
+    cmpi r1, 8
+    jl .y
+    movi r0, 0
+    ret
+.y:
+    movi r0, 1
+    ret
+.endfunc
+`, head, fn, chk, storeBody, attr)
+	em.diff(vuln, fixed)
+	em.expect(fn, patch.Type1, false, true)
+	em.expect(chk, patch.Type1, true, false)
+}
+
+// recFix is the recursive-function archetype: a notrace function that
+// writes a slot then recurses toward zero; the fix bounds the index.
+// notrace is load-bearing — a traced recursive function cannot be
+// patched in place, because its self-call would target the stripped
+// ftrace prologue (the pipeline rejects that payload).
+func (em *emitter) recFix(padN int) {
+	fn := em.p + "recwrite"
+	check := "    cmpi r1, 8\n    jl .ok\n    movi r0, 14\n    ret\n.ok:\n"
+	body := func(chk string) string {
+		return fmt.Sprintf(`
+.global %[1]s_buf 64
+.data   %[1]s_canary 37 13 00 00 00 00 00 00
+
+.func %[1]s notrace           ; (idx, val) -> 0 ok / 14 EFAULT, fills idx..0
+%[2]s    movi r3, @%[1]s_buf
+    mov r4, r1
+    movi r5, 8
+    mul r4, r5
+    add r3, r4
+    store [r3], r2
+%[3]s    cmpi r1, 0
+    jz .done
+    subi r1, 1
+    call %[1]s
+.done:
+    movi r0, 0
+    ret
+.endfunc
+`, fn, chk, pad(padN))
+	}
+	em.diff(body(""), body(check))
+	em.expect(fn, patch.Type1, false, false)
+}

@@ -1,0 +1,257 @@
+// Package corpusgen procedurally generates synthetic CVE cases — the
+// scenario pool behind the differential verification sweeps. Each case
+// is a (kernel variant × vulnerability) pair: a build configuration
+// (version, ftrace on/off, inlining on/off), a vulnerable subsystem
+// source file, its fix, and an up-front prediction of exactly which
+// functions the patch pipeline must patch, with which Type 1/2/3
+// classification, whether each carries an ftrace prologue, and which
+// new globals the fix allocates.
+//
+// Everything is a pure function of a single uint64 seed: GenCase(seed)
+// returns byte-identical output on every run, on every platform, so a
+// failing case IS its seed — "shrinking" a corpus failure means
+// regenerating one case from the seed a divergence report names. The
+// generator varies build config, function size (padding), global-data
+// layout (extra globals of mixed sizes), and call-graph shape (fan-in
+// validator sites, fan-out to notrace leaves, bounded recursion,
+// filler functions after the changed code so unchanged functions land
+// at shifted addresses).
+//
+// The prediction model mirrors internal/patch's pipeline: a function
+// is Type 3 when it references an edited global, else Type 1 when its
+// source changed (or it is new), else Type 2 (implicated only through
+// compiler inlining). Inline-marked helpers flip between Type 2
+// (inlining on: the fix lands at every call site) and Type 1 (inlining
+// off: the helper is a standalone patch target) — the prediction is
+// config-sensitive, and the differential harness in internal/evalharness
+// checks it against the live pipeline case by case.
+package corpusgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kshot/internal/patch"
+)
+
+// Archetype names, one per vulnerability/patch shape the generator
+// emits. Exposed so sweep reports can bucket results.
+const (
+	ArchBounds    = "bounds"    // missing bounds check, Type 1
+	ArchLeak      = "leak"      // crafted-request info leak, Type 1
+	ArchValidator = "validator" // inline validator, Type 2 (inline on) / Type 1 (off)
+	ArchChain     = "chain"     // depth-2 inline chain, Type 2 / Type 1
+	ArchCached    = "cached"    // struct-extension cached global, Type 3
+	ArchNewFn     = "newfn"     // fix adds a new function, Type 1 + new payload
+	ArchRecFix    = "recfix"    // notrace recursive function fixed in place, Type 1
+	ArchCombo12   = "combo12"   // bounds + validator, Types 1,2 (inline on)
+	ArchCombo13   = "combo13"   // bounds + cached, Types 1,3
+)
+
+// Archetypes lists every archetype in generation order.
+var Archetypes = []string{
+	ArchBounds, ArchLeak, ArchValidator, ArchChain, ArchCached,
+	ArchNewFn, ArchRecFix, ArchCombo12, ArchCombo13,
+}
+
+// FuncExpect is the generator's prediction for one patched function.
+type FuncExpect struct {
+	// Type is the expected Table I classification.
+	Type patch.Type
+
+	// New marks a function the fix adds (shipped as a new payload, no
+	// trampoline).
+	New bool
+
+	// Traced predicts whether the function carries the 5-byte ftrace
+	// prologue in the running kernel, which moves the trampoline site
+	// from the entry to entry+5.
+	Traced bool
+}
+
+// Expectation is the generator's ground truth for one case: the exact
+// patched-function set the pipeline must produce, plus the new globals
+// the fix allocates.
+type Expectation struct {
+	// Funcs maps every function the patch must touch to its prediction.
+	Funcs map[string]FuncExpect
+
+	// NewGlobals are the names of globals the fix adds, sorted.
+	NewGlobals []string
+
+	// Types are the distinct expected patch types, ascending — what
+	// BinaryPatch.Types() must report.
+	Types []patch.Type
+}
+
+// FuncNames returns the expected patched-function names, sorted.
+func (e *Expectation) FuncNames() []string {
+	out := make([]string, 0, len(e.Funcs))
+	for n := range e.Funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TypesString renders the expected classification like Table I ("1,2").
+func (e *Expectation) TypesString() string {
+	parts := make([]string, len(e.Types))
+	for i, t := range e.Types {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Case is one generated (kernel variant × synthetic CVE) scenario.
+type Case struct {
+	// Seed reproduces the case: GenCase(Seed) rebuilds it bit for bit.
+	Seed uint64
+
+	// ID is the case identifier ("GEN-<seed hex>"), used as the patch
+	// ID end to end.
+	ID string
+
+	// Archetype names the vulnerability/patch shape.
+	Archetype string
+
+	// Version, Ftrace, Inline are the kernel build configuration the
+	// case targets.
+	Version string
+	Ftrace  bool
+	Inline  bool
+
+	// File is the subsystem source path the case contributes; Vuln and
+	// Fixed are the pre-/post-patch contents.
+	File  string
+	Vuln  string
+	Fixed string
+
+	// Expect is the generator's prediction of what the patch pipeline
+	// must produce for this case.
+	Expect Expectation
+}
+
+// GenCase deterministically generates the case for one seed. Two calls
+// with the same seed return byte-identical cases; nothing outside the
+// seed (time, map order, global state) influences the output.
+func GenCase(seed uint64) *Case {
+	r := &rng{s: mix64(seed)}
+	c := &Case{
+		Seed: seed,
+		ID:   fmt.Sprintf("GEN-%016X", seed),
+		File: fmt.Sprintf("cve/gen_%016x.asm", seed),
+	}
+	if r.flag() {
+		c.Version = "4.4"
+	} else {
+		c.Version = "3.14"
+	}
+	c.Ftrace = r.flag()
+	c.Inline = r.flag()
+	c.Archetype = Archetypes[r.intn(len(Archetypes))]
+	c.Expect.Funcs = make(map[string]FuncExpect)
+
+	em := &emitter{c: c, r: r, p: fmt.Sprintf("g%016x_", seed)}
+	em.emit()
+
+	c.Vuln = em.vuln.String()
+	c.Fixed = em.fixed.String()
+	sort.Strings(c.Expect.NewGlobals)
+	c.Expect.Types = distinctTypes(c.Expect.Funcs)
+	return c
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	// Seed is the corpus master seed; per-case seeds derive from it.
+	Seed uint64
+
+	// Count is the number of cases to generate.
+	Count int
+}
+
+// CaseSeed derives the i-th case's seed from the corpus master seed.
+// Divergence reports carry this value so one failing case can be
+// regenerated without its corpus.
+func CaseSeed(master uint64, i int) uint64 {
+	return mix64(master ^ mix64(uint64(i)+0x9E3779B97F4A7C15))
+}
+
+// Generate emits cfg.Count cases from the master seed, in order. The
+// result is fully deterministic: same Config, same corpus, bit for bit.
+func Generate(cfg Config) []*Case {
+	out := make([]*Case, cfg.Count)
+	for i := range out {
+		out[i] = GenCase(CaseSeed(cfg.Seed, i))
+	}
+	return out
+}
+
+// Manifest renders a deterministic one-line-per-case summary of a
+// corpus — the byte-identity witness for "same seed ⇒ same corpus"
+// checks (hash it, diff it, commit it).
+func Manifest(cases []*Case) string {
+	var b strings.Builder
+	for _, c := range cases {
+		fmt.Fprintf(&b, "%s seed=%#016x arch=%s version=%s ftrace=%v inline=%v types=%s funcs=%s vuln=%dB fixed=%dB\n",
+			c.ID, c.Seed, c.Archetype, c.Version, c.Ftrace, c.Inline,
+			c.Expect.TypesString(), strings.Join(c.Expect.FuncNames(), ","),
+			len(c.Vuln), len(c.Fixed))
+	}
+	return b.String()
+}
+
+func distinctTypes(funcs map[string]FuncExpect) []patch.Type {
+	seen := map[patch.Type]bool{}
+	for _, fe := range funcs {
+		seen[fe.Type] = true
+	}
+	var out []patch.Type
+	for _, t := range []patch.Type{patch.Type1, patch.Type2, patch.Type3} {
+		if seen[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG — splitmix64, seeded from the case seed. Not
+// math/rand: the stream must be stable across Go versions and
+// platforms for seeds to stay reproducible forever.
+// ---------------------------------------------------------------------------
+
+type rng struct{ s uint64 }
+
+// mix64 is the splitmix64 finalizer, used both for seed derivation and
+// stream initialization.
+func mix64(z uint64) uint64 {
+	z ^= z >> 33
+	z *= 0xFF51AFD7ED558CCD
+	z ^= z >> 33
+	z *= 0xC4CEB9FE1A85EC53
+	z ^= z >> 33
+	return z
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4B9B1
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) flag() bool { return r.next()&1 == 1 }

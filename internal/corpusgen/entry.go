@@ -1,0 +1,142 @@
+package corpusgen
+
+import (
+	"fmt"
+	"strings"
+
+	"kshot/internal/cvebench"
+	"kshot/internal/kernel"
+	"kshot/internal/patch"
+)
+
+const (
+	canaryMagic = 0x1337
+	leakSecret  = 0xa55aa55a
+)
+
+// Entry adapts the case to a cvebench.Entry, so generated cases flow
+// through every consumer built for the Table I corpus — the patch
+// server's TreeProviderFor, the eval harness, the rollout waves — with
+// the seed-derived ID standing in for the CVE number.
+func (c *Case) Entry() *cvebench.Entry {
+	return &cvebench.Entry{
+		CVE:       c.ID,
+		Functions: c.Expect.FuncNames(),
+		SizeLoC:   strings.Count(c.Fixed, "\n"),
+		Types:     append([]patch.Type(nil), c.Expect.Types...),
+		File:      c.File,
+		Vuln:      c.Vuln,
+		Fixed:     c.Fixed,
+		Exploit:   c.exploit(),
+		Summary: fmt.Sprintf("generated %s case (seed %#016x, %s ftrace=%v inline=%v)",
+			c.Archetype, c.Seed, c.Version, c.Ftrace, c.Inline),
+	}
+}
+
+// prefix reconstructs the per-case symbol prefix GenCase used.
+func (c *Case) prefix() string { return fmt.Sprintf("g%016x_", c.Seed) }
+
+// exploit builds the case's probe from its archetype. Combos probe
+// every constituent vulnerability: the kernel counts as vulnerable
+// while any probe still succeeds.
+func (c *Case) exploit() cvebench.ExploitFunc {
+	p := c.prefix()
+	var probes []cvebench.ExploitFunc
+	switch c.Archetype {
+	case ArchBounds:
+		probes = append(probes, canaryProbe(p+"nwrite", p+"nwrite"))
+	case ArchLeak:
+		probes = append(probes, leakProbe(p+"report"))
+	case ArchValidator, ArchChain:
+		probes = append(probes, canaryProbe(p+"valid_site1", p+"valid"))
+	case ArchCached:
+		probes = append(probes, clampProbe(p+"consume", p+"initcache"))
+	case ArchNewFn:
+		probes = append(probes, canaryProbe(p+"ioctl", p+"ioctl"))
+	case ArchRecFix:
+		probes = append(probes, canaryProbe(p+"recwrite", p+"recwrite"))
+	case ArchCombo12:
+		probes = append(probes,
+			canaryProbe(p+"nwrite", p+"nwrite"),
+			canaryProbe(p+"valid_site1", p+"valid"))
+	case ArchCombo13:
+		probes = append(probes,
+			canaryProbe(p+"nwrite", p+"nwrite"),
+			clampProbe(p+"consume", p+"initcache"))
+	}
+	return allProbes(probes)
+}
+
+// canaryProbe writes one word past callee's 8-word buffer and checks
+// whether the adjacent canary (named after base) survived.
+func canaryProbe(callee, base string) cvebench.ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (cvebench.ExploitResult, error) {
+		if err := k.WriteGlobal(base+"_canary", canaryMagic); err != nil {
+			return cvebench.ExploitResult{}, err
+		}
+		if _, err := k.Call(vcpu, callee, 8, 0x6666); err != nil {
+			return cvebench.ExploitResult{}, fmt.Errorf("probe call %s: %w", callee, err)
+		}
+		v, err := k.ReadGlobal(base + "_canary")
+		if err != nil {
+			return cvebench.ExploitResult{}, err
+		}
+		if v != canaryMagic {
+			return cvebench.ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("out-of-bounds write through %s clobbered %s_canary (now %#x)", callee, base, v)}, nil
+		}
+		return cvebench.ExploitResult{Detail: callee + " rejects out-of-bounds write"}, nil
+	}
+}
+
+// leakProbe sends the crafted debug request and checks whether the
+// secret came back.
+func leakProbe(fn string) cvebench.ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (cvebench.ExploitResult, error) {
+		v, err := k.Call(vcpu, fn, 0xdead)
+		if err != nil {
+			return cvebench.ExploitResult{}, fmt.Errorf("probe call %s: %w", fn, err)
+		}
+		if v == leakSecret {
+			return cvebench.ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("%s leaked secret %#x", fn, v)}, nil
+		}
+		return cvebench.ExploitResult{Detail: fn + " debug path closed"}, nil
+	}
+}
+
+// clampProbe runs the initializer then feeds the consumer an oversized
+// value; the fixed kernel clamps it to the cached limit (256).
+func clampProbe(consumer, initFn string) cvebench.ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (cvebench.ExploitResult, error) {
+		if _, err := k.Call(vcpu, initFn); err != nil {
+			return cvebench.ExploitResult{}, fmt.Errorf("probe call %s: %w", initFn, err)
+		}
+		v, err := k.Call(vcpu, consumer, 100000)
+		if err != nil {
+			return cvebench.ExploitResult{}, fmt.Errorf("probe call %s: %w", consumer, err)
+		}
+		if v > 256 {
+			return cvebench.ExploitResult{Vulnerable: true,
+				Detail: fmt.Sprintf("%s passed oversized value %d through unclamped", consumer, v)}, nil
+		}
+		return cvebench.ExploitResult{Detail: fmt.Sprintf("%s clamps to cached limit (%d)", consumer, v)}, nil
+	}
+}
+
+// allProbes reports vulnerable while ANY probe still succeeds.
+func allProbes(probes []cvebench.ExploitFunc) cvebench.ExploitFunc {
+	return func(k *kernel.Kernel, vcpu int) (cvebench.ExploitResult, error) {
+		var details []string
+		vulnerable := false
+		for _, p := range probes {
+			r, err := p(k, vcpu)
+			if err != nil {
+				return cvebench.ExploitResult{}, err
+			}
+			vulnerable = vulnerable || r.Vulnerable
+			details = append(details, r.Detail)
+		}
+		return cvebench.ExploitResult{Vulnerable: vulnerable, Detail: strings.Join(details, "; ")}, nil
+	}
+}

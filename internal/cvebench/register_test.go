@@ -1,0 +1,101 @@
+package cvebench
+
+import (
+	"strings"
+	"testing"
+)
+
+func genEntry(cve, file, vuln, fixed string) *Entry {
+	return &Entry{CVE: cve, File: file, Vuln: vuln, Fixed: fixed,
+		Functions: []string{"f"}, Summary: "test entry"}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	e := genEntry("TEST-REG-1", "cve/test_reg_1.asm", "; v\n", "; f\n")
+	if err := Register(e); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	got, ok := Get("TEST-REG-1")
+	if !ok || got != e {
+		t.Fatal("registered entry not resolvable via Get")
+	}
+	// Identical re-registration is a no-op, not an error.
+	if err := Register(genEntry("TEST-REG-1", "cve/test_reg_1.asm", "; v\n", "; f\n")); err != nil {
+		t.Fatalf("identical re-registration: %v", err)
+	}
+	if again, _ := Get("TEST-REG-1"); again != e {
+		t.Fatal("identical re-registration replaced the original entry")
+	}
+}
+
+func TestRegisterRejectsSameFileConflicts(t *testing.T) {
+	base := genEntry("TEST-CONF-A", "cve/test_conf.asm", "; vuln\n", "; fixed\n")
+	if err := Register(base); err != nil {
+		t.Fatalf("Register base: %v", err)
+	}
+
+	// Same file, conflicting fixed content: the second patch would
+	// silently clobber the first at the server's tree provider.
+	err := Register(genEntry("TEST-CONF-B", "cve/test_conf.asm", "; vuln\n", "; other fix\n"))
+	if err == nil {
+		t.Fatal("conflicting Fixed content on the same File was accepted")
+	}
+	if !strings.Contains(err.Error(), "conflicting fixed content") || !strings.Contains(err.Error(), "TEST-CONF-A") {
+		t.Fatalf("conflict error does not name the clash: %v", err)
+	}
+	if _, ok := Get("TEST-CONF-B"); ok {
+		t.Fatal("rejected entry leaked into the registry")
+	}
+
+	// Same file, conflicting vulnerable content.
+	err = Register(genEntry("TEST-CONF-C", "cve/test_conf.asm", "; other vuln\n", "; fixed\n"))
+	if err == nil || !strings.Contains(err.Error(), "conflicting vulnerable content") {
+		t.Fatalf("conflicting Vuln content not rejected: %v", err)
+	}
+
+	// Same file with identical content under a new ID is fine (two IDs
+	// sharing one subsystem fix).
+	if err := Register(genEntry("TEST-CONF-D", "cve/test_conf.asm", "; vuln\n", "; fixed\n")); err != nil {
+		t.Fatalf("identical-content same-file entry rejected: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicateIDWithDifferentContent(t *testing.T) {
+	if err := Register(genEntry("TEST-DUP-1", "cve/test_dup_1.asm", "; v\n", "; f\n")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	err := Register(genEntry("TEST-DUP-1", "cve/test_dup_1b.asm", "; v2\n", "; f2\n"))
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate ID with different content not rejected: %v", err)
+	}
+}
+
+func TestRegisterRejectsIncompleteEntries(t *testing.T) {
+	for _, e := range []*Entry{
+		nil,
+		genEntry("", "cve/x.asm", "v", "f"),
+		genEntry("TEST-BAD", "", "v", "f"),
+		genEntry("TEST-BAD", "cve/x.asm", "", "f"),
+		genEntry("TEST-BAD", "cve/x.asm", "same", "same"),
+	} {
+		if err := Register(e); err == nil {
+			t.Errorf("incomplete entry %+v accepted", e)
+		}
+	}
+}
+
+// TestRegisterAgainstTableEntry checks the conflict rules also protect
+// the init-built Table I corpus.
+func TestRegisterAgainstTableEntry(t *testing.T) {
+	orig, ok := Get("CVE-2014-0196")
+	if !ok {
+		t.Fatal("Table I entry missing")
+	}
+	err := Register(genEntry("TEST-TBL", orig.File, orig.Vuln, "; different fix\n"))
+	if err == nil {
+		t.Fatal("conflict with a Table I entry's file was accepted")
+	}
+	if got, _ := Get("CVE-2014-0196"); got != orig {
+		t.Fatal("Table I entry was disturbed by a rejected registration")
+	}
+}

@@ -1,0 +1,54 @@
+package evalharness
+
+import (
+	"testing"
+
+	"kshot/internal/corpusgen"
+)
+
+// TestGeneratedCorpusSmoke is the CI gate for the generated corpus: a
+// fixed-seed 64-case differential sweep (analysis-level on every case,
+// full end-to-end apply/rollback on the first 8). It must stay fast
+// enough to run under -race on every push.
+func TestGeneratedCorpusSmoke(t *testing.T) {
+	stats := RunCorpusSweep(SweepOptions{Seed: 0xC0DE, Count: 64, E2ECount: 8, Workers: 4})
+	if stats.Cases != 64 || stats.E2ECases != 8 {
+		t.Fatalf("sweep ran %d cases (%d e2e), want 64 (8 e2e)", stats.Cases, stats.E2ECases)
+	}
+	for _, d := range stats.Divergences {
+		t.Error(d.String())
+	}
+	for ty, checked := range stats.Checked {
+		if m := stats.Matched[ty]; m != checked {
+			t.Errorf("Type %s classification: %d/%d predictions matched", ty, m, checked)
+		}
+	}
+}
+
+// TestVerifyCaseReportsDivergence sabotages a generated case's
+// prediction and requires the harness to notice — the differential
+// check must not be vacuously green.
+func TestVerifyCaseReportsDivergence(t *testing.T) {
+	c := corpusgen.GenCase(1)
+	for name, fe := range c.Expect.Funcs {
+		fe.Traced = !fe.Traced
+		c.Expect.Funcs[name] = fe
+		break
+	}
+	res := VerifyCase(c, false)
+	if len(res.Divergences) == 0 {
+		t.Fatal("sabotaged expectation produced no divergence")
+	}
+	d := res.Divergences[0]
+	if d.Seed != c.Seed || d.ID != c.ID {
+		t.Fatalf("divergence %+v does not carry the reproducing seed/ID", d)
+	}
+}
+
+func TestCorpusTableRenders(t *testing.T) {
+	stats := RunCorpusSweep(SweepOptions{Seed: 7, Count: 8, Workers: 4})
+	out := CorpusTable(stats).String()
+	if out == "" {
+		t.Fatal("empty corpus table")
+	}
+}

@@ -3,9 +3,10 @@ package kernel
 import "fmt"
 
 // BaseTree returns the base kernel source tree for a supported version
-// ("3.14" or "4.4"). Benchmark code adds subsystem files containing
-// vulnerable functions on top of this tree; the patch server applies
-// source patches to it and rebuilds.
+// ("3.14" or "4.4"), built with the default configuration (ftrace and
+// inlining both enabled). Benchmark code adds subsystem files
+// containing vulnerable functions on top of this tree; the patch
+// server applies source patches to it and rebuilds.
 //
 // The two versions differ in real ways — extra functions, different
 // globals, different file content — so images built for one version
@@ -13,7 +14,14 @@ import "fmt"
 // requirement that the patch server rebuild with the target's exact
 // version and configuration.
 func BaseTree(version string) (*SourceTree, error) {
-	cfg := BuildConfig{Version: version, Ftrace: true, Inline: true}
+	return BaseTreeWithConfig(BuildConfig{Version: version, Ftrace: true, Inline: true})
+}
+
+// BaseTreeWithConfig is BaseTree with explicit build knobs — the
+// generated-corpus sweeps boot kernels with every (ftrace × inline)
+// combination, not just the default.
+func BaseTreeWithConfig(cfg BuildConfig) (*SourceTree, error) {
+	version := cfg.Version
 	st := NewSourceTree(cfg)
 
 	st.AddFile("lib/string.asm", libString)

@@ -103,6 +103,15 @@ func Build(id, kernelVersion string, pre, post ImagePair) (*BinaryPatch, error) 
 		bp.Funcs = append(bp.Funcs, *fp)
 	}
 	if len(bp.Funcs) == 0 && len(bp.Globals) == 0 {
+		// Distinguish a removal-only diff from a truly identical pair:
+		// live patching can add and replace code, but it cannot take
+		// symbols away from a running kernel, so a fix that only
+		// deletes functions is unservable — and saying "identical"
+		// about it sends the author debugging the wrong thing.
+		if len(bd.Removed) > 0 {
+			return nil, fmt.Errorf("build %s: patch only removes functions (%s); function removal is not live-patchable",
+				id, strings.Join(bd.Removed, ", "))
+		}
 		return nil, fmt.Errorf("build %s: pre and post builds are identical", id)
 	}
 	return bp, nil

@@ -1,0 +1,198 @@
+package patch
+
+import (
+	"strings"
+	"testing"
+
+	"kshot/internal/kernel"
+)
+
+// buildEdgePair builds pre/post kernels from two versions of an extra
+// subsystem file, under the default (ftrace+inline) configuration.
+func buildEdgePair(t *testing.T, preSrc, postSrc string) (ImagePair, ImagePair) {
+	t.Helper()
+	st, err := kernel.BaseTree("3.14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddFile("drivers/edge.asm", preSrc)
+	preImg, preUnit, err := st.Build()
+	if err != nil {
+		t.Fatalf("pre build: %v", err)
+	}
+	post := st.Clone()
+	if err := post.Apply(kernel.SourcePatch{ID: "EDGE", Files: map[string]string{"drivers/edge.asm": postSrc}}); err != nil {
+		t.Fatal(err)
+	}
+	postImg, postUnit, err := post.Build()
+	if err != nil {
+		t.Fatalf("post build: %v", err)
+	}
+	return ImagePair{preImg, preUnit}, ImagePair{postImg, postUnit}
+}
+
+// TestClassifyEdgeCases drives the classifier and its neighbors
+// through the shapes the generated corpus found easiest to get wrong.
+func TestClassifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		pre, post string
+		check     func(t *testing.T, bp *BinaryPatch, err error, pre ImagePair)
+	}{
+		{
+			// A patch target so small the 5-byte trampoline cannot fit:
+			// Build succeeds (the payload is fine), Prepare must refuse.
+			name: "tiny function cannot host trampoline",
+			pre: `
+.func edge_stub notrace        ; single ret: 1 byte, < 5-byte jmp
+    ret
+.endfunc
+`,
+			post: `
+.func edge_stub notrace
+    movi r0, 14
+    ret
+.endfunc
+`,
+			check: func(t *testing.T, bp *BinaryPatch, err error, pre ImagePair) {
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if got := bp.FuncNames(); len(got) != 1 || got[0] != "edge_stub" {
+					t.Fatalf("FuncNames = %v", got)
+				}
+				if bp.Funcs[0].Type != Type1 {
+					t.Fatalf("Type = %s, want 1", bp.Funcs[0].Type)
+				}
+				_, perr := Prepare(bp, pre.Img.Symbols, defaultPlacement(), 0, 0)
+				if perr == nil || !strings.Contains(perr.Error(), "too small for trampoline") {
+					t.Fatalf("Prepare = %v, want too-small-for-trampoline error", perr)
+				}
+			},
+		},
+		{
+			// The fix deletes the function outright. That is not
+			// live-patchable, and the error must say so instead of
+			// claiming the builds are identical.
+			name: "function disappearing post-patch",
+			pre: `
+.func edge_gone
+    movi r0, 7
+    ret
+.endfunc
+`,
+			post: `
+; edge_gone removed by the fix
+`,
+			check: func(t *testing.T, bp *BinaryPatch, err error, pre ImagePair) {
+				if err == nil {
+					t.Fatal("removal-only patch built successfully")
+				}
+				if !strings.Contains(err.Error(), "only removes functions") ||
+					!strings.Contains(err.Error(), "edge_gone") {
+					t.Fatalf("error %q does not identify the removal", err)
+				}
+				if strings.Contains(err.Error(), "identical") {
+					t.Fatalf("removal-only patch still misreported as identical: %v", err)
+				}
+			},
+		},
+		{
+			// Removal riding along with a real change: the surviving
+			// change is patched, the removed symbol is silently dropped
+			// (its callers were rewritten by the same fix).
+			name: "removal alongside a real change",
+			pre: `
+.func edge_old_helper
+    movi r0, 1
+    ret
+.endfunc
+
+.func edge_user
+    call edge_old_helper
+    ret
+.endfunc
+`,
+			post: `
+.func edge_user
+    movi r0, 1
+    ret
+.endfunc
+`,
+			check: func(t *testing.T, bp *BinaryPatch, err error, pre ImagePair) {
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if got := bp.FuncNames(); len(got) != 1 || got[0] != "edge_user" {
+					t.Fatalf("FuncNames = %v, want only edge_user", got)
+				}
+			},
+		},
+		{
+			// Type 2 + Type 3 combined in one function: an inline
+			// validator's fix references a global the patch adds. The
+			// call sites are implicated through inlining (Type 2
+			// condition) AND reference the edited global (Type 3
+			// condition) — Type 3 must win, per the classifier's
+			// precedence.
+			name: "inlined fix referencing new global classifies Type 3",
+			pre: `
+.func edge_val inline          ; (len) -> 1 valid
+    movi r0, 1
+    ret
+.endfunc
+
+.func edge_site                ; (len) -> verdict
+    call edge_val
+    ret
+.endfunc
+`,
+			post: `
+.data edge_cap 08 00 00 00 00 00 00 00
+
+.func edge_val inline          ; (len) -> 1 if len < cap
+    movi r0, 0
+    loadg r2, edge_cap
+    cmp r1, r2
+    jge .end
+    movi r0, 1
+.end:
+    ret
+.endfunc
+
+.func edge_site
+    call edge_val
+    ret
+.endfunc
+`,
+			check: func(t *testing.T, bp *BinaryPatch, err error, pre ImagePair) {
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if got := bp.FuncNames(); len(got) != 1 || got[0] != "edge_site" {
+					t.Fatalf("FuncNames = %v, want only the call site (validator is inlined away)", got)
+				}
+				if bp.Funcs[0].Type != Type3 {
+					t.Fatalf("site classified Type %s; global reference must outrank inline implication (Type 3)",
+						bp.Funcs[0].Type)
+				}
+				var newGlobals []string
+				for _, g := range bp.Globals {
+					if g.New {
+						newGlobals = append(newGlobals, g.Name)
+					}
+				}
+				if len(newGlobals) != 1 || newGlobals[0] != "edge_cap" {
+					t.Fatalf("new globals = %v, want [edge_cap]", newGlobals)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pre, post := buildEdgePair(t, tc.pre, tc.post)
+			bp, err := Build("EDGE", "3.14", pre, post)
+			tc.check(t, bp, err, pre)
+		})
+	}
+}

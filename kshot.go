@@ -234,6 +234,30 @@ func WithActivenessCheck(on bool) Option {
 	}
 }
 
+// WithFtrace switches the booted kernel's ftrace instrumentation on or
+// off (on by default). The patch server rebuilds with whatever config
+// the target attests, so patches stay address-compatible either way;
+// with ftrace off, trampolines overwrite function entry bytes instead
+// of the __fentry__ prologue.
+func WithFtrace(on bool) Option {
+	return func(o *Options) error {
+		o.DisableFtrace = !on
+		return nil
+	}
+}
+
+// WithInlining switches the kernel build's compiler inlining on or off
+// (on by default). Inlining changes the patch-type landscape: helpers
+// marked inline vanish from the binary when it is on (their fixes land
+// at every call site, Type 2) and become directly patchable standalone
+// functions when it is off (Type 1).
+func WithInlining(on bool) Option {
+	return func(o *Options) error {
+		o.DisableInline = !on
+		return nil
+	}
+}
+
 // WithDialRetries allows the system's patch-server connections extra
 // TCP connect attempts with exponential backoff.
 func WithDialRetries(n int) Option {
