@@ -52,6 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		trace    = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
 		fleet    = fs.Bool("fleet", false, "fleet distribution: cold vs warm build-cache delivery")
 		rollout  = fs.Bool("rollout", false, "fleet rollout: staged canary waves across simulated targets")
+		dispatch = fs.Bool("dispatch", false, "execution-engine comparison: oracle interpreter vs predecoded blocks")
+		dispops  = fs.Uint64("dispatch-ops", 2000, "workload operations per engine for -dispatch")
 		clients  = fs.Int("clients", 16, "fleet size for -fleet")
 		targets  = fs.Int("targets", 24, "fleet size for -rollout")
 		domains  = fs.Int("domains", 4, "failure domains for -rollout")
@@ -79,10 +81,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet || *rollout
+	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet || *rollout || *dispatch
 	if *all || !selected {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet, *rollout =
-			true, true, true, true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet, *rollout, *dispatch =
+			true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	// In JSON mode, data-bearing experiments accumulate here and are
@@ -278,6 +280,23 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(out, "  throughput: %.1f targets/s (wall %v)\n", rr.TargetsPerSec, rr.Wall)
 			fmt.Fprintf(out, "  per-target virtual SMM pause: mean %sus, p99 %sus\n",
 				report.Us(rr.MeanPause), report.Us(rr.P99Pause))
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *dispatch {
+		progress("running execution-engine comparison (oracle vs blocks, %d ops each)...\n", *dispops)
+		dr, err := evalharness.RunDispatchBench("CVE-2014-4157", *dispops)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			results["dispatch"] = dr
+		} else {
+			fmt.Fprintf(out, "Execution engine (workload under patch, %s, %d ops per engine):\n", dr.CVE, dr.Oracle.Ops)
+			fmt.Fprintf(out, "  oracle (decode-switch): %.0f ops/s (wall %v)\n", dr.Oracle.OpsPerSec, dr.Oracle.Wall)
+			fmt.Fprintf(out, "  blocks (predecoded):    %.0f ops/s (wall %v)\n", dr.Blocks.OpsPerSec, dr.Blocks.Wall)
+			fmt.Fprintf(out, "  speedup: %.1fx; virtual stage metrics bit-identical across engines\n", dr.Speedup)
 			fmt.Fprintln(out)
 		}
 	}

@@ -227,7 +227,10 @@ func TestApplyAllRetriesOnlyActiveMember(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := sys.Kernel.Call(0, "spin_gadget", 41)
+		// Generous step budget: the gadget busy-waits for the release
+		// global, and block dispatch retires spin iterations far
+		// faster than the default budget's worth of wall-clock.
+		_, err := sys.Kernel.CallSteps(0, "spin_gadget", 200_000_000, 41)
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)

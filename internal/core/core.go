@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kshot/internal/faultinject"
+	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/machine"
@@ -50,6 +51,13 @@ type Options struct {
 
 	// NumVCPUs for the target machine (default 4).
 	NumVCPUs int
+
+	// Dispatch selects the vCPU execution engine: predecoded basic
+	// blocks (the zero value), the decode-switch oracle interpreter,
+	// or differential lockstep verification of the two (which requires
+	// NumVCPUs == 1). Virtual-time metrics are identical across modes;
+	// only wall-clock speed differs.
+	Dispatch isa.Dispatch
 
 	// ExtraFiles adds subsystem source files to the base tree — the
 	// vulnerable code the benchmark kernels ship with.
@@ -152,6 +160,15 @@ func (o *Options) Validate() error {
 	if o.NumVCPUs < 0 {
 		return bad("WithVCPUs", "must be >= 0, got %d", o.NumVCPUs)
 	}
+	switch o.Dispatch {
+	case isa.DispatchBlocks, isa.DispatchOracle:
+	case isa.DispatchLockstep:
+		if o.NumVCPUs > 1 {
+			return bad("WithDispatch", "lockstep requires exactly 1 vCPU, got %d", o.NumVCPUs)
+		}
+	default:
+		return bad("WithDispatch", "unknown dispatch mode %d", int(o.Dispatch))
+	}
 	if o.DialRetries < 0 {
 		return bad("WithDialRetries", "must be >= 0, got %d", o.DialRetries)
 	}
@@ -176,6 +193,9 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.HashAlg == 0 {
 		opts.HashAlg = kcrypto.HashSHA256
 	}
+	if opts.Dispatch == isa.DispatchLockstep && opts.NumVCPUs == 0 {
+		opts.NumVCPUs = 1 // lockstep rewinds shared memory; one vCPU only
+	}
 
 	// Build and boot the (vulnerable) kernel.
 	tree, err := kernel.BaseTreeWithConfig(kernel.BuildConfig{
@@ -198,7 +218,7 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: kernel build: %w", err)
 	}
-	m, err := machine.New(machine.Config{NumVCPUs: opts.NumVCPUs})
+	m, err := machine.New(machine.Config{NumVCPUs: opts.NumVCPUs, Dispatch: opts.Dispatch})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package evalharness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kshot/internal/cvebench"
+	"kshot/internal/isa"
+	"kshot/internal/kcrypto"
+	"kshot/internal/timing"
+	"kshot/internal/workload"
+)
+
+// Dispatch-engine benchmark: the same fixed amount of workload, under a
+// live patch, once per execution engine. Because the work is fixed in
+// operations (not wall-clock), the two runs retire identical virtual
+// instruction streams; the virtual patch metrics must therefore agree
+// exactly, and the wall-clock throughput ratio is the block engine's
+// speedup.
+
+// DispatchModeResult is one engine's half of the comparison.
+type DispatchModeResult struct {
+	Mode      string        `json:"mode"`
+	Ops       uint64        `json:"ops"`
+	Wall      time.Duration `json:"wall_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+
+	// Stages are the patch's virtual stage times — engine-independent
+	// by construction; RunDispatchBench fails if they differ.
+	Stages timing.Stages `json:"stages"`
+}
+
+// DispatchResult compares oracle and block dispatch over identical
+// work.
+type DispatchResult struct {
+	CVE     string             `json:"cve"`
+	Oracle  DispatchModeResult `json:"oracle"`
+	Blocks  DispatchModeResult `json:"blocks"`
+	Speedup float64            `json:"speedup"`
+}
+
+// RunDispatchBench boots one deployment per engine, applies the CVE's
+// patch, then drives the mixed workload for exactly ops operations
+// under the patched kernel. It returns the throughput comparison and
+// verifies the virtual-time patch metrics are bit-identical across
+// engines.
+func RunDispatchBench(cve string, ops uint64) (*DispatchResult, error) {
+	out := &DispatchResult{CVE: cve}
+	for _, mode := range []isa.Dispatch{isa.DispatchOracle, isa.DispatchBlocks} {
+		r, err := runDispatchMode(cve, mode, ops)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch bench (%v): %w", mode, err)
+		}
+		if mode == isa.DispatchOracle {
+			out.Oracle = r
+		} else {
+			out.Blocks = r
+		}
+	}
+	if out.Oracle.Stages != out.Blocks.Stages {
+		return nil, fmt.Errorf("dispatch bench: virtual stage metrics diverge between engines: oracle %+v vs blocks %+v",
+			out.Oracle.Stages, out.Blocks.Stages)
+	}
+	if out.Oracle.OpsPerSec > 0 {
+		out.Speedup = out.Blocks.OpsPerSec / out.Oracle.OpsPerSec
+	}
+	return out, nil
+}
+
+func runDispatchMode(cve string, mode isa.Dispatch, ops uint64) (DispatchModeResult, error) {
+	e, ok := cvebench.Get(cve)
+	if !ok {
+		return DispatchModeResult{}, fmt.Errorf("unknown CVE %q", cve)
+	}
+	d, err := NewDeploymentDispatch("4.4", 2, kcrypto.HashSHA256, mode, e)
+	if err != nil {
+		return DispatchModeResult{}, err
+	}
+	defer d.Close()
+
+	rep, err := d.System.Apply(context.Background(), cve)
+	if err != nil {
+		return DispatchModeResult{}, err
+	}
+
+	drv := workload.New(d.System.Kernel, workload.Mixed)
+	stats, err := drv.RunOps(ops)
+	if err != nil {
+		return DispatchModeResult{}, err
+	}
+	return DispatchModeResult{
+		Mode:      mode.String(),
+		Ops:       stats.Ops,
+		Wall:      stats.Elapsed,
+		OpsPerSec: stats.OpsPerSec(),
+		Stages:    rep.Stages,
+	}, nil
+}

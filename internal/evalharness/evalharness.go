@@ -23,6 +23,7 @@ import (
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/machine"
@@ -382,6 +383,13 @@ type Deployment struct {
 // NewDeployment provisions a system vulnerable to the given CVEs, with
 // a patch server that can fix them.
 func NewDeployment(version string, numVCPUs int, alg kcrypto.HashAlg, entries ...*cvebench.Entry) (*Deployment, error) {
+	return NewDeploymentDispatch(version, numVCPUs, alg, isa.DispatchBlocks, entries...)
+}
+
+// NewDeploymentDispatch is NewDeployment with an explicit vCPU
+// execution engine — the oracle interpreter for baseline benchmarks,
+// lockstep for the differential verification suites.
+func NewDeploymentDispatch(version string, numVCPUs int, alg kcrypto.HashAlg, d isa.Dispatch, entries ...*cvebench.Entry) (*Deployment, error) {
 	srv, err := patchserver.NewServer("127.0.0.1:0", cvebench.TreeProviderFor(entries...))
 	if err != nil {
 		return nil, err
@@ -394,6 +402,7 @@ func NewDeployment(version string, numVCPUs int, alg kcrypto.HashAlg, entries ..
 	sys, err := core.NewSystem(core.Options{
 		Version:    version,
 		NumVCPUs:   numVCPUs,
+		Dispatch:   d,
 		ExtraFiles: extra,
 		ServerAddr: srv.Addr(),
 		HashAlg:    alg,

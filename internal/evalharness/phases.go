@@ -8,6 +8,7 @@ import (
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/obs"
 	"kshot/internal/report"
@@ -37,6 +38,11 @@ type PhaseOptions struct {
 	// the golden test passes timing.NewFakeWall() for replayable
 	// output.
 	Wall timing.WallClock
+
+	// Dispatch selects the vCPU execution engine (blocks by default).
+	// The rendered report must be byte-identical across modes — the
+	// golden test asserts it for both blocks and oracle.
+	Dispatch isa.Dispatch
 }
 
 // CVEPhase is one per-CVE row of the phase-breakdown table: the virtual
@@ -106,7 +112,7 @@ func RunPhaseBreakdown(opts PhaseOptions) (*PhaseBreakdown, error) {
 		for i, e := range wave {
 			cves[i] = e.CVE
 		}
-		d, err := NewDeployment(opts.Version, 2, kcrypto.HashSHA256, wave...)
+		d, err := NewDeploymentDispatch(opts.Version, 2, kcrypto.HashSHA256, opts.Dispatch, wave...)
 		if err != nil {
 			return nil, fmt.Errorf("wave %d deployment: %w", wi, err)
 		}

@@ -202,6 +202,27 @@ func (h *chaosHarness) cycle(seed int64, entries []*cvebench.Entry) outcome {
 		t.Fatalf("seed %d: allocation cursors (%d,%d) not rewound by rollback", seed, memX, data)
 	}
 
+	// Invariant 3b — no stale blocks: byte identity (3) is checked by
+	// reading memory, but execution goes through the block-dispatch
+	// cache. Every rolled-back exploit must actually fire again; a
+	// cached block of the patched code would keep it neutralized even
+	// though the text bytes are pristine.
+	for _, cve := range out.applied {
+		e := inSubset[cve]
+		res, err := e.Exploit(sys.Kernel, 0)
+		if err != nil {
+			t.Fatalf("seed %d: post-rollback exploit %s: %v", seed, cve, err)
+		}
+		if !res.Vulnerable {
+			t.Fatalf("seed %d: %s not vulnerable after rollback — stale patched block serving old text?", seed, cve)
+		}
+	}
+	if len(out.applied) > 0 {
+		if stats, ok := sys.Machine.VCPU(0).EngineStats(); ok && stats.Flushes == 0 {
+			t.Fatalf("seed %d: patches applied and rolled back but the block cache never flushed (%+v)", seed, stats)
+		}
+	}
+
 	// Invariant 4 — the system is still serviceable: a clean ApplyAll
 	// of the same subset lands everything.
 	clean, err := sys.ApplyAll(context.Background(), cves, core.WithFetchWorkers(1))

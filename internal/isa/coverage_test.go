@@ -106,6 +106,120 @@ func TestOpcodeCoverage(t *testing.T) {
 	}
 }
 
+// TestOpcodeCoverageBlockDispatch drives every opcode through the
+// block-dispatch engine next to the oracle interpreter, comparing the
+// full architectural outcome (result, state, retired steps, error text)
+// — the per-opcode analogue of the lockstep suite. The exhaustiveness
+// check below forces a new opcode to get a dispatch case alongside its
+// encode/decode case, keeping the two engines' opcode coverage in
+// lockstep. The fused and unfused superinstruction forms are pinned by
+// the dedicated tests in block_test.go (TestFusedCallRet,
+// TestUnfusedCall, TestFusedFlagsJcc, TestJmpChainFolding); the jcc
+// cases here additionally take both branch directions through the fused
+// cmp+jcc path.
+func TestOpcodeCoverageBlockDispatch(t *testing.T) {
+	jccSrc := func(jcc string) string {
+		return `
+.func f
+    cmpi r1, 5
+    ` + jcc + ` .hit
+    movi r0, 10
+    ret
+.hit:
+    movi r0, 20
+    ret
+.endfunc
+`
+	}
+	cases := []struct {
+		ops     []Op
+		src     string
+		argSets [][]uint64
+	}{
+		{[]Op{OpNop, OpMovi, OpRet}, ".func f\nnop\nmovi r0, 1\nret\n.endfunc", [][]uint64{{}}},
+		{[]Op{OpHlt}, ".func f\nhlt\n.endfunc", [][]uint64{{}}},
+		{[]Op{OpTrap}, ".func f\ntrap 65\nret\n.endfunc", [][]uint64{{}}},
+		{[]Op{OpCall}, `
+.func callee
+    add r1, r2
+    mov r0, r1
+    ret
+.endfunc
+.func f
+    call callee
+    ret
+.endfunc
+`, [][]uint64{{3, 4}}},
+		{[]Op{OpJmp}, ".func f\njmp .x\nmovi r0, 1\nret\n.x:\nmovi r0, 2\nret\n.endfunc", [][]uint64{{}}},
+		{[]Op{OpJz}, jccSrc("jz"), [][]uint64{{5}, {6}}},
+		{[]Op{OpJnz}, jccSrc("jnz"), [][]uint64{{5}, {6}}},
+		{[]Op{OpJl}, jccSrc("jl"), [][]uint64{{3}, {5}, {9}}},
+		{[]Op{OpJge}, jccSrc("jge"), [][]uint64{{3}, {5}, {9}}},
+		{[]Op{OpJle}, jccSrc("jle"), [][]uint64{{3}, {5}, {9}}},
+		{[]Op{OpJg}, jccSrc("jg"), [][]uint64{{3}, {5}, {9}}},
+		{[]Op{OpMov, OpAdd}, ".func f\nmov r0, r1\nadd r0, r2\nret\n.endfunc", [][]uint64{{3, 4}}},
+		{[]Op{OpSub}, ".func f\nmov r0, r1\nsub r0, r2\nret\n.endfunc", [][]uint64{{9, 4}, {4, 9}}},
+		{[]Op{OpMul}, ".func f\nmov r0, r1\nmul r0, r2\nret\n.endfunc", [][]uint64{{6, 7}}},
+		{[]Op{OpDiv}, ".func f\nmov r0, r1\ndiv r0, r2\nret\n.endfunc", [][]uint64{{42, 6}, {42, 0}}},
+		{[]Op{OpAnd}, ".func f\nmov r0, r1\nand r0, r2\nret\n.endfunc", [][]uint64{{0xff, 0x0f}}},
+		{[]Op{OpOr}, ".func f\nmov r0, r1\nor r0, r2\nret\n.endfunc", [][]uint64{{0xf0, 0x0f}}},
+		{[]Op{OpXor}, ".func f\nmov r0, r1\nxor r0, r2\nret\n.endfunc", [][]uint64{{0xff, 0xff}, {1, 2}}},
+		{[]Op{OpShl}, ".func f\nmov r0, r1\nshl r0, r2\nret\n.endfunc", [][]uint64{{1, 8}, {1, 70}}},
+		{[]Op{OpShr}, ".func f\nmov r0, r1\nshr r0, r2\nret\n.endfunc", [][]uint64{{256, 8}}},
+		{[]Op{OpCmp}, `
+.func f
+    cmp r1, r2
+    jz .eq
+    movi r0, 1
+    ret
+.eq:
+    movi r0, 2
+    ret
+.endfunc
+`, [][]uint64{{4, 4}, {4, 5}}},
+		{[]Op{OpCmpi}, jccSrc("jz"), [][]uint64{{5}, {4}}},
+		{[]Op{OpAddi}, ".func f\nmov r0, r1\naddi r0, -1\nret\n.endfunc", [][]uint64{{10}, {0}}},
+		{[]Op{OpSubi}, ".func f\nmov r0, r1\nsubi r0, 7\nret\n.endfunc", [][]uint64{{10}, {3}}},
+		{[]Op{OpLoad, OpStore}, `
+.func f
+    store [sp-16], r1
+    load r0, [sp-16]
+    addi r0, 1
+    ret
+.endfunc
+`, [][]uint64{{41}}},
+		{[]Op{OpPush, OpPop}, ".func f\npush r1\npush r2\npop r0\npop r3\nadd r0, r3\nret\n.endfunc", [][]uint64{{5, 6}}},
+		{[]Op{OpLoadg, OpStrg}, `
+.global g 8
+.func f
+    storeg g, r1
+    loadg r0, g
+    addi r0, 2
+    ret
+.endfunc
+`, [][]uint64{{7}}},
+	}
+
+	covered := map[Op]bool{}
+	for _, tc := range cases {
+		for _, op := range tc.ops {
+			covered[op] = true
+		}
+		t.Run(tc.ops[0].Mnemonic(), func(t *testing.T) {
+			img, oracle, e, stack := dualRig(t, tc.src, LinkOptions{})
+			for _, args := range tc.argSets {
+				callBoth(t, img, oracle, e, stack, "f", 1000, args...)
+			}
+		})
+	}
+	for b := 0; b < 256; b++ {
+		op := Op(b)
+		if op.Length() > 0 && !covered[op] {
+			t.Errorf("opcode %#02x (%s) has no block-dispatch coverage case", b, op.Mnemonic())
+		}
+	}
+}
+
 // TestDecodeTruncated feeds every multi-byte opcode a prefix one byte
 // short of its encoded length and expects the decoder to identify the
 // truncation rather than read out of bounds.

@@ -41,6 +41,14 @@ func (e *ExecError) Unwrap() error { return e.Err }
 // before the call session completes.
 var ErrStepLimit = errors.New("cpu: step limit exceeded")
 
+// Shared error constructors: the oracle interpreter (Step) and the
+// block-dispatch engine (block.go) must produce byte-identical error
+// text for the same fault — the differential lockstep suite compares
+// error strings.
+func errHlt() error              { return errors.New("hlt in non-idle context") }
+func errDivZero() error          { return errors.New("division by zero") }
+func errTooManyArgs(n int) error { return fmt.Errorf("call: too many arguments (%d)", n) }
+
 // State is the architectural state of one virtual CPU — exactly what
 // the SMM hardware saves to the SMRAM state save area on an SMI and
 // restores on RSM.
@@ -106,7 +114,7 @@ func (c *CPU) Step() error {
 	switch inst.Op {
 	case OpNop:
 	case OpHlt:
-		return &ExecError{RIP: c.RIP, Err: errors.New("hlt in non-idle context")}
+		return &ExecError{RIP: c.RIP, Err: errHlt()}
 	case OpTrap:
 		trap := &TrapError{Code: int(inst.Imm), RIP: c.RIP}
 		c.RIP = next
@@ -146,7 +154,7 @@ func (c *CPU) Step() error {
 		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]*c.Reg[inst.Src]))
 	case OpDiv:
 		if c.Reg[inst.Src] == 0 {
-			return &ExecError{RIP: c.RIP, Err: errors.New("division by zero")}
+			return &ExecError{RIP: c.RIP, Err: errDivZero()}
 		}
 		c.setFlags(c.alu(inst.Dst, c.Reg[inst.Dst]/c.Reg[inst.Src]))
 	case OpAnd:
@@ -273,7 +281,7 @@ func (c *CPU) Run(maxSteps int) error {
 // r1..r5, using the given stack top. It returns r0.
 func (c *CPU) Call(entry, stackTop uint64, maxSteps int, args ...uint64) (uint64, error) {
 	if len(args) > 5 {
-		return 0, fmt.Errorf("call: too many arguments (%d)", len(args))
+		return 0, errTooManyArgs(len(args))
 	}
 	c.Reg = [NumRegs]uint64{}
 	c.Reg[RegSP] = stackTop

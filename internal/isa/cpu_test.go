@@ -14,7 +14,7 @@ func testMachine(t *testing.T, img *Image) (*CPU, uint64) {
 	t.Helper()
 	m := mem.New(16 << 20)
 	mustMapImage(t, m, img)
-	if _, err := m.Map("stack", 1<<20, 64<<10, mem.Perms{Kernel: mem.PermRW, SMM: mem.PermRWX}); err != nil {
+	if _, err := m.Map("stack", 1<<20, 64<<10, mem.Perms{Kernel: mem.PermRW, SMM: mem.PermRW}); err != nil {
 		t.Fatal(err)
 	}
 	return New(m, mem.PrivKernel), 1<<20 + 64<<10

@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+
+	"kshot/internal/mem"
+)
+
+// FuzzBlockDecode feeds arbitrary byte streams to the block decoder,
+// mapped as kernel text. The contract under fuzzing:
+//
+//   - decodeBlock never panics and never reads past what Fetch allows;
+//   - a decoded block's per-instruction expansion (Block.Instructions)
+//     is exactly the linear decode disasm.go/Step would perform over
+//     the same bytes — same instructions, same lengths, gapless, and
+//     ending exactly at Block.End();
+//   - executing the stream under the block engine is observationally
+//     identical to the oracle interpreter: the lockstep runner drives
+//     both over the same memory and fails on any state, step-count,
+//     error, or memory divergence.
+func FuzzBlockDecode(f *testing.F) {
+	// Straight line, ALU + flags.
+	f.Add(MustEncode(
+		Inst{Op: OpMovi, Dst: 1, Imm: 7},
+		Inst{Op: OpAddi, Dst: 1, Imm: 3},
+		Inst{Op: OpRet},
+	))
+	// Fused cmp+jcc pair, taken backwards (a loop).
+	f.Add(MustEncode(
+		Inst{Op: OpMovi, Dst: 1, Imm: 3},
+		Inst{Op: OpSubi, Dst: 1, Imm: 1},
+		Inst{Op: OpJnz, Imm: -(LenRegImm + LenBranch)},
+		Inst{Op: OpRet},
+	))
+	// Ftrace-prologue shape: call whose callee is a bare ret.
+	f.Add(MustEncode(
+		Inst{Op: OpCall, Imm: LenRet},
+		Inst{Op: OpRet},
+		Inst{Op: OpRet},
+	))
+	// Trampoline chain: jmp -> jmp -> body.
+	f.Add(MustEncode(
+		Inst{Op: OpJmp, Imm: LenBranch},
+		Inst{Op: OpJmp, Imm: LenBranch},
+		Inst{Op: OpJmp, Imm: -(2 * LenBranch)},
+		Inst{Op: OpMovi, Dst: 0, Imm: 1},
+		Inst{Op: OpRet},
+	))
+	// Memory traffic + trap terminator.
+	f.Add(MustEncode(
+		Inst{Op: OpPush, Dst: 1},
+		Inst{Op: OpPop, Dst: 2},
+		Inst{Op: OpStore, Dst: 15, Src: 2, Imm: -64},
+		Inst{Op: OpLoad, Dst: 0, Src: 15, Imm: -64},
+		Inst{Op: OpTrap, Imm: 7},
+	))
+	// Invalid opcode mid-stream: block must end cleanly before it.
+	f.Add(append(MustEncode(Inst{Op: OpNop}, Inst{Op: OpNop}), 0xFF, 0x00))
+	// Truncated tail: movi missing most of its immediate.
+	f.Add(append(MustEncode(Inst{Op: OpNop}), byte(OpMovi), 0x01, 0x02))
+
+	const (
+		textBase = uint64(0x10000)
+		dataBase = uint64(0x80000)
+		stackTop = uint64(0x90000 + 0x1000)
+	)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 2048 {
+			return
+		}
+		m := mem.New(1 << 20)
+		if _, err := m.Map("text", textBase, uint64(len(data)), mem.Perms{Kernel: mem.PermRX, SMM: mem.PermRWX}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(mem.PrivSMM, textBase, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Map("data", dataBase, 0x1000, mem.Perms{Kernel: mem.PermRW}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Map("stack", 0x90000, 0x1000, mem.Perms{Kernel: mem.PermRW}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Structural check: the block's expansion is the linear decode.
+		c := New(m, mem.PrivKernel)
+		e := NewEngine(c)
+		if b := e.decodeBlock(textBase); b != nil {
+			if b.Start() != textBase {
+				t.Fatalf("block starts at %#x, want %#x", b.Start(), textBase)
+			}
+			insts := b.Instructions()
+			if len(insts) == 0 || len(insts) > blockCap {
+				t.Fatalf("block has %d instructions (cap %d)", len(insts), blockCap)
+			}
+			addr := textBase
+			for i, d := range insts {
+				off := addr - textBase
+				inst, n, err := Decode(data[off:])
+				if err != nil {
+					t.Fatalf("instruction %d at %#x: block decoded what Decode rejects: %v", i, addr, err)
+				}
+				if d.Addr != addr || d.Inst != inst || d.Len != n {
+					t.Fatalf("instruction %d: block %+v (addr %#x len %d), linear decode %+v (addr %#x len %d)",
+						i, d.Inst, d.Addr, d.Len, inst, addr, n)
+				}
+				addr += uint64(n)
+			}
+			if b.End() != addr {
+				t.Fatalf("block end %#x, instructions end at %#x", b.End(), addr)
+			}
+		}
+
+		// Behavioral check: run the stream under differential lockstep.
+		// Every unit executes under both engines on the same memory; any
+		// divergence is fatal. Other errors (faults, invalid opcodes,
+		// traps) are legitimate outcomes of arbitrary code.
+		lc := New(m, mem.PrivKernel)
+		lc.Reg[RegSP] = stackTop - 8
+		if err := lc.M.WriteU64(mem.PrivKernel, lc.Reg[RegSP], StopAddr); err != nil {
+			t.Fatal(err)
+		}
+		lc.Reg[1] = dataBase
+		lc.RIP = textBase
+		ls := NewLockstep(lc)
+		for unit := 0; unit < 64 && !lc.Done(); unit++ {
+			_, err := ls.RunUnit(32)
+			if err == nil {
+				continue
+			}
+			var div *DivergenceError
+			if errors.As(err, &div) {
+				t.Fatalf("engines diverge on %x: %v", data, div)
+			}
+			break
+		}
+	})
+}

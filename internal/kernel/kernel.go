@@ -51,16 +51,20 @@ func Boot(m *machine.Machine, img *isa.Image, cfg BuildConfig) (*Kernel, error) 
 	}); err != nil {
 		return nil, fmt.Errorf("boot: %w", err)
 	}
+	// Data and heap are not executable at any privilege — nothing ever
+	// runs code from them, and keeping X off means ordinary data writes
+	// do not count as code modification for the block-dispatch engine's
+	// epoch-keyed cache (mem.Physical.CodeEpoch).
 	if _, err := m.Mem.Map(RegionData, DataBase, DataRegionSize, mem.Perms{
 		Kernel: mem.PermRW,
-		SMM:    mem.PermRWX,
+		SMM:    mem.PermRW,
 	}); err != nil {
 		return nil, fmt.Errorf("boot: %w", err)
 	}
 	if _, err := m.Mem.Map(RegionHeap, HeapBase, HeapSize, mem.Perms{
 		User:   mem.PermRW,
 		Kernel: mem.PermRW,
-		SMM:    mem.PermRWX,
+		SMM:    mem.PermRW,
 	}); err != nil {
 		return nil, fmt.Errorf("boot: %w", err)
 	}
@@ -108,11 +112,19 @@ func (k *Kernel) FuncAddr(name string) (uint64, error) {
 // simulation's syscall entry. It blocks until the call completes
 // (including across any SMIs that pause the machine mid-call).
 func (k *Kernel) Call(vcpu int, fn string, args ...uint64) (uint64, error) {
+	return k.CallSteps(vcpu, fn, DefaultMaxSteps, args...)
+}
+
+// CallSteps is Call with an explicit step budget, for callers that park
+// a vCPU in a busy-wait (block dispatch retires the same virtual steps
+// in much less wall-clock, so a parked call needs a budget sized to the
+// wait, not DefaultMaxSteps).
+func (k *Kernel) CallSteps(vcpu int, fn string, maxSteps int, args ...uint64) (uint64, error) {
 	addr, err := k.FuncAddr(fn)
 	if err != nil {
 		return 0, err
 	}
-	return k.M.VCPU(vcpu).Call(addr, DefaultMaxSteps, args...)
+	return k.M.VCPU(vcpu).Call(addr, maxSteps, args...)
 }
 
 // ReadGlobal reads a 64-bit kernel global by symbol name at kernel

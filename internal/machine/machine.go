@@ -40,13 +40,21 @@ var ErrStopped = errors.New("machine: stopped")
 type Config struct {
 	PhysSize uint64 // physical memory bytes (default DefaultPhysSize)
 	NumVCPUs int    // number of vCPUs (default 4)
+
+	// Dispatch selects the execution engine: predecoded basic blocks
+	// (the zero value, isa.DispatchBlocks), the decode-switch oracle,
+	// or differential lockstep verification of the two. Lockstep
+	// requires a single vCPU: it rewinds and replays shared memory
+	// every dispatch unit.
+	Dispatch isa.Dispatch
 }
 
 // Machine is the simulated target host.
 type Machine struct {
 	Mem *mem.Physical
 
-	vcpus []*VCPU
+	vcpus    []*VCPU
+	dispatch isa.Dispatch
 
 	gate pauseGate
 
@@ -63,21 +71,28 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.NumVCPUs == 0 {
 		cfg.NumVCPUs = 4
 	}
-	m := &Machine{Mem: mem.New(cfg.PhysSize)}
+	if cfg.Dispatch == isa.DispatchLockstep && cfg.NumVCPUs != 1 {
+		return nil, fmt.Errorf("machine: lockstep dispatch requires exactly 1 vCPU, got %d", cfg.NumVCPUs)
+	}
+	m := &Machine{Mem: mem.New(cfg.PhysSize), dispatch: cfg.Dispatch}
 	m.gate.init()
 
 	for i := 0; i < cfg.NumVCPUs; i++ {
 		base := StackRegionBase + uint64(i)*StackSize
 		name := fmt.Sprintf("stack.vcpu%d", i)
+		// Stacks carry data, never code: no X at any privilege, so
+		// pushes don't invalidate the block-dispatch code cache.
 		if _, err := m.Mem.Map(name, base, StackSize, mem.Perms{
 			Kernel: mem.PermRW,
-			SMM:    mem.PermRWX,
+			SMM:    mem.PermRW,
 		}); err != nil {
 			return nil, fmt.Errorf("machine: %w", err)
 		}
+		cpu := isa.New(m.Mem, mem.PrivKernel)
 		v := &VCPU{
 			ID:       i,
-			cpu:      isa.New(m.Mem, mem.PrivKernel),
+			cpu:      cpu,
+			runner:   isa.NewRunner(cpu, cfg.Dispatch),
 			stackTop: base + StackSize,
 			machine:  m,
 			reqs:     make(chan *callReq),
@@ -90,6 +105,9 @@ func New(cfg Config) (*Machine, error) {
 
 // NumVCPUs returns the vCPU count.
 func (m *Machine) NumVCPUs() int { return len(m.vcpus) }
+
+// Dispatch returns the machine's execution-engine mode.
+func (m *Machine) Dispatch() isa.Dispatch { return m.dispatch }
 
 // VCPU returns vCPU i.
 func (m *Machine) VCPU(i int) *VCPU { return m.vcpus[i] }
@@ -188,9 +206,23 @@ type VCPU struct {
 	ID int
 
 	cpu      *isa.CPU
+	runner   isa.Runner
 	stackTop uint64
 	machine  *Machine
 	reqs     chan *callReq
+}
+
+// EngineStats returns the vCPU's block-cache counters and true when the
+// dispatch mode uses the block engine (blocks or lockstep). Only
+// meaningful while the vCPU is quiescent (no session in flight).
+func (v *VCPU) EngineStats() (isa.EngineStats, bool) {
+	switch r := v.runner.(type) {
+	case *isa.Engine:
+		return r.Stats(), true
+	case *isa.Lockstep:
+		return r.Engine().Stats(), true
+	}
+	return isa.EngineStats{}, false
 }
 
 // run is the vCPU runner goroutine: it executes submitted call
@@ -225,7 +257,11 @@ func (v *VCPU) execute(req *callReq) callRes {
 		return callRes{err: err}
 	}
 
-	for steps := 0; ; steps++ {
+	// Dispatch units (one basic block, or one instruction under the
+	// oracle) execute inside one gate bracket each: an SMI still lands
+	// at an architectural instruction boundary — units commit RIP
+	// before yielding — just a coarser one than single-stepping.
+	for steps := 0; ; {
 		g.beginStep()
 		if c.Done() {
 			ret := c.Reg[0]
@@ -236,11 +272,15 @@ func (v *VCPU) execute(req *callReq) callRes {
 			g.endStep()
 			return callRes{err: isa.ErrStepLimit}
 		}
-		err := c.Step()
+		n, err := v.runner.RunUnit(req.maxSteps - steps)
 		g.endStep()
 		if err != nil {
 			return callRes{err: err}
 		}
+		if n < 1 {
+			n = 1
+		}
+		steps += n
 	}
 }
 

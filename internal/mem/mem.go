@@ -178,6 +178,18 @@ func (r *Region) PermFor(p Priv) Perm {
 	return Perm(r.perms.Load() >> (8 * uint(p)))
 }
 
+// execAnyMask selects the X bit of every privilege level in the packed
+// permission word.
+const execAnyMask = uint64(PermX)<<(8*uint(PrivUser)) |
+	uint64(PermX)<<(8*uint(PrivKernel)) |
+	uint64(PermX)<<(8*uint(PrivEnclave)) |
+	uint64(PermX)<<(8*uint(PrivSMM))
+
+// execAny reports whether any privilege level may execute from the
+// region — i.e. whether a write into it can change code some CPU might
+// run, which is what the code epoch (CodeEpoch) tracks.
+func (r *Region) execAny() bool { return r.perms.Load()&execAnyMask != 0 }
+
 // Perms describes per-privilege permissions when creating or updating a
 // region. Omitted levels default to no access.
 type Perms struct {
@@ -245,6 +257,13 @@ type Physical struct {
 	// mem_W staging region (bit flips, access faults) for the chaos
 	// suite. Nil in production paths.
 	fi atomic.Pointer[faultinject.Set]
+
+	// codeGen counts every event after which previously fetched code
+	// may be stale: writes or zeroing into an executable region, region
+	// map/unmap, permission swaps, and snapshot restores. Predecoded
+	// block caches (internal/isa) key on it — an epoch mismatch means
+	// "re-decode", which is the entire invalidation protocol.
+	codeGen atomic.Uint64
 }
 
 // New creates a physical memory of the given size with no mapped
@@ -261,6 +280,16 @@ func New(size uint64) *Physical {
 
 // Size returns the total physical memory size in bytes.
 func (m *Physical) Size() uint64 { return m.size }
+
+// CodeEpoch returns the current code generation: a counter bumped after
+// any event that can change bytes some privilege level may execute
+// (writes/zeroing into an exec-permitted region, Map/Unmap, SetPerms,
+// snapshot Restore). Callers that cache decoded code compare epochs
+// before reuse; a mismatch means every cached translation must be
+// discarded. The bump is ordered after the memory mutation, so a cache
+// populated from a racing read of the old bytes is invalidated by the
+// very bump that follows the write.
+func (m *Physical) CodeEpoch() uint64 { return m.codeGen.Load() }
 
 // Map adds a region. It returns an error if the range is out of bounds,
 // overlaps an existing region, or reuses the name of a mapped region
@@ -302,6 +331,7 @@ func (m *Physical) Map(name string, base, size uint64, ps Perms) (*Region, error
 		sorted: sorted,
 		byName: withRegion(tab.byName, r),
 	})
+	m.codeGen.Add(1)
 	return r, nil
 }
 
@@ -328,6 +358,7 @@ func (m *Physical) Unmap(name string) error {
 		}
 	}
 	m.tab.Store(&regionTable{epoch: tab.epoch + 1, sorted: sorted, byName: byName})
+	m.codeGen.Add(1)
 	return nil
 }
 
@@ -367,6 +398,7 @@ func (m *Physical) SetPerms(name string, ps Perms) error {
 		return fmt.Errorf("set perms %q: no such region", name)
 	}
 	r.perms.Store(ps.pack())
+	m.codeGen.Add(1)
 	return nil
 }
 
@@ -446,8 +478,33 @@ func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) 
 		m.readFrames(addr, dst)
 	} else {
 		m.writeFrames(addr, src)
+		if m.spanExecutable(tab, r, addr, n) {
+			m.codeGen.Add(1)
+		}
 	}
 	return nil
+}
+
+// spanExecutable reports whether any region overlapped by the
+// already-validated span [addr, addr+n) starting in r grants execute to
+// some privilege level. The single-region fast path is one atomic load
+// and a mask — cheap enough for every store instruction the interpreter
+// retires.
+func (m *Physical) spanExecutable(tab *regionTable, r *Region, addr, n uint64) bool {
+	if r.execAny() {
+		return true
+	}
+	for cur := r.End(); cur < addr+n; {
+		next := tab.at(cur)
+		if next == nil {
+			return false // unreachable: validateSpan walked this same table
+		}
+		if next.execAny() {
+			return true
+		}
+		cur = next.End()
+	}
+	return false
 }
 
 // Read copies len(dst) bytes from addr into dst on behalf of priv.
@@ -531,6 +588,9 @@ func (m *Physical) Zero(priv Priv, addr, n uint64) error {
 		return m.Write(priv, addr, make([]byte, n))
 	}
 	m.zeroFrames(addr, n)
+	if m.spanExecutable(tab, r, addr, n) {
+		m.codeGen.Add(1)
+	}
 	return nil
 }
 

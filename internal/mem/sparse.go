@@ -234,6 +234,9 @@ func (m *Physical) Restore(s *Snapshot) error {
 		m.frames[i].Store(fr)
 	}
 	m.unlockMask(^uint64(0), true)
+	// Restoring swaps frame contents without going through access(), so
+	// any cached code translation may now be stale.
+	m.codeGen.Add(1)
 	return nil
 }
 

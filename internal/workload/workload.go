@@ -177,6 +177,21 @@ func (d *Driver) RunFor(dur time.Duration) (Stats, error) {
 	return d.Stop(), nil
 }
 
+// RunOps runs the workload until at least total operations have
+// completed, then stops. Fixing the work instead of the wall-clock
+// makes two runs comparable op-for-op — the dispatch-engine benchmarks
+// use it to compare oracle and block throughput over identical
+// instruction streams.
+func (d *Driver) RunOps(total uint64) (Stats, error) {
+	if err := d.Start(); err != nil {
+		return Stats{}, err
+	}
+	for d.ops.Load() < total {
+		time.Sleep(200 * time.Microsecond)
+	}
+	return d.Stop(), nil
+}
+
 // Overhead compares a baseline run against a run during which
 // `disturb` executes (e.g. a 1,000-patch storm), returning the
 // fractional throughput loss (0.03 = 3%).

@@ -59,6 +59,7 @@ import (
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
 	"kshot/internal/mem"
@@ -160,6 +161,42 @@ func WithVCPUs(n int) Option {
 			return newErr("WithVCPUs", "must be >= 1, got %d", n)
 		}
 		o.NumVCPUs = n
+		return nil
+	}
+}
+
+// Dispatch selects the vCPU execution engine.
+type Dispatch = isa.Dispatch
+
+// Execution engine modes for WithDispatch. Virtual-time metrics are
+// identical across modes; only wall-clock speed differs.
+const (
+	// DispatchBlocks executes through predecoded basic blocks with
+	// epoch-keyed invalidation (the default).
+	DispatchBlocks = isa.DispatchBlocks
+	// DispatchOracle forces the per-instruction decode-switch
+	// interpreter the block engine is verified against.
+	DispatchOracle = isa.DispatchOracle
+	// DispatchLockstep cross-checks both engines every dispatch unit;
+	// verification only, and requires a single vCPU.
+	DispatchLockstep = isa.DispatchLockstep
+)
+
+// WithDispatch selects the vCPU execution engine (default
+// DispatchBlocks). DispatchLockstep conflicts with WithVCPUs(n) for
+// n > 1: lockstep rewinds and replays shared memory every unit.
+func WithDispatch(d Dispatch) Option {
+	return func(o *Options) error {
+		switch d {
+		case DispatchBlocks, DispatchOracle:
+		case DispatchLockstep:
+			if o.NumVCPUs > 1 {
+				return newErr("WithDispatch", "lockstep requires exactly 1 vCPU, got %d", o.NumVCPUs)
+			}
+		default:
+			return newErr("WithDispatch", "unknown dispatch mode %d", int(d))
+		}
+		o.Dispatch = d
 		return nil
 	}
 }
