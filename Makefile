@@ -42,7 +42,7 @@ benchsmoke:
 # runs; see cmd/kshot-bench -json.
 BENCHJSON ?= bench.json
 benchjson:
-	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -rollout -dispatch -iters 1 -o $(BENCHJSON) > /dev/null
+	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -rollout -provision -dispatch -iters 1 -o $(BENCHJSON) > /dev/null
 
 # Public API surface snapshot. `make api` regenerates api.txt from the
 # package's exported declarations; `make apicheck` fails when the
@@ -79,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBlockDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/isa/
 	$(GO) test -fuzz=FuzzKSBTParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/smmpatch/
 	$(GO) test -fuzz=FuzzSparseMemAccess -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
+	$(GO) test -fuzz=FuzzForkMem -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
 	$(GO) test -fuzz=FuzzServerFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/patchserver/
 	$(GO) test -fuzz=FuzzCorpusCase -fuzztime=$(FUZZTIME) -run '^$$' ./internal/corpusgen/
 

@@ -236,6 +236,57 @@ func BenchmarkPipelinedApplyAll(b *testing.B) {
 	b.ReportMetric(100*p.PauseReduction(), "pause_reduction_pct")
 }
 
+// BenchmarkProvision measures target provisioning two ways: cold (the
+// paper's boot — kernel build, machine bring-up, SMM lock, eager
+// server registration, bootstrap SMI) versus forked from a cached
+// template (COW frames, per-fork secrets, SMRAM lock; server attach
+// and bootstrap SMI deferred to first contact). The forked/cold ns/op
+// ratio is the template-fork payoff; systems_per_sec is the fleet
+// provisioning rate either mode sustains.
+func BenchmarkProvision(b *testing.B) {
+	entry, _ := LookupCVE("CVE-2014-0196")
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(entry)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterPatch(entry.SourcePatch())
+	files := map[string]string{entry.File: entry.Vuln}
+
+	b.Run("cold", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sys, err := New(WithExtraFiles(files), WithServerAddr(srv.Addr()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Close()
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "systems_per_sec")
+	})
+	b.Run("forked", func(b *testing.B) {
+		cache := NewTemplateCache()
+		defer cache.Close()
+		// Boot the template outside the timed region: it is a one-time
+		// per-configuration cost the fleet amortizes.
+		warm, err := New(WithExtraFiles(files), WithServerAddr(srv.Addr()), WithTemplateCache(cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm.Close()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sys, err := New(WithExtraFiles(files), WithServerAddr(srv.Addr()), WithTemplateCache(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Close()
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "systems_per_sec")
+	})
+}
+
 // TestPipelinedBeatsSerial is the acceptance gate for the batched
 // pipeline: applying all 30 Table I CVEs through ApplyAll must take
 // strictly fewer than 30 SMM world switches and strictly less total

@@ -43,6 +43,7 @@ func run(args []string) error {
 	cves := fs.String("cves", "CVE-2014-0196,CVE-2016-5195,CVE-2017-17806", "comma-separated CVEs to patch")
 	rollback := fs.Bool("rollback", false, "roll each patch back after applying (demonstration)")
 	standalone := fs.Bool("standalone", false, "start an in-process patch server")
+	template := fs.Bool("template", false, "provision by COW-forking a booted template instead of a cold boot")
 	obsAddr := fs.String("obs", "", "serve /metrics and /trace on this address while patching")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,27 +80,49 @@ func run(args []string) error {
 		return fmt.Errorf("no patch server: pass -server or -standalone")
 	}
 
-	fmt.Printf("booting target machine: kernel %s, %d vulnerable subsystems\n", *version, len(entries))
-	sys, err := core.NewSystem(core.Options{
-		Version:    *version,
-		ExtraFiles: extra,
-		ServerAddr: addr,
-	})
-	if err != nil {
-		return err
-	}
-	defer sys.Close()
-	fmt.Println("SMM locked, enclave attested, channel keys established")
-
 	var hooks *obs.Hooks
 	if *obsAddr != "" {
 		hooks = obs.NewHooks(0, nil)
-		sys.SetObserver(hooks)
 		if standaloneSrv != nil {
 			// Server-side cache/connection metrics land in the same
 			// registry as the target's pipeline metrics.
 			standaloneSrv.SetObserver(hooks)
 		}
+	}
+
+	sysOpts := core.Options{
+		Version:    *version,
+		ExtraFiles: extra,
+		ServerAddr: addr,
+	}
+	if *template {
+		cache := core.NewTemplateCache()
+		defer cache.Close()
+		cache.SetObserver(hooks)
+		sysOpts.TemplateCache = cache
+	}
+	fmt.Printf("booting target machine: kernel %s, %d vulnerable subsystems\n", *version, len(entries))
+	sys, err := core.NewSystemCtx(context.Background(), sysOpts)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if *template {
+		fmt.Println("forked from template; SMM locked, server attach on first patch")
+	} else {
+		fmt.Println("SMM locked, enclave attested, channel keys established")
+	}
+
+	if hooks != nil {
+		sys.SetObserver(hooks)
+		// Resident-frame split of the target's physical memory: under
+		// -template the private gauge is the fork's marginal footprint.
+		hooks.GaugeFunc(obs.GaugeMemSharedBytes, func() int64 {
+			return int64(sys.Machine.Mem.ResidentStats().SharedBytes)
+		})
+		hooks.GaugeFunc(obs.GaugeMemPrivateBytes, func() int64 {
+			return int64(sys.Machine.Mem.ResidentStats().PrivateBytes)
+		})
 		ln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			return fmt.Errorf("obs listener: %w", err)

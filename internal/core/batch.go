@@ -120,6 +120,9 @@ type BatchReport struct {
 // BatchReport.Failed without sinking the rest; the error return is
 // reserved for cancellation.
 func (s *System) ApplyAll(ctx context.Context, cves []string, opts ...ApplyOption) (*BatchReport, error) {
+	if err := s.ensureAttached(ctx); err != nil {
+		return nil, err
+	}
 	var cfg applyConfig
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {

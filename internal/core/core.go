@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"kshot/internal/faultinject"
@@ -97,6 +98,13 @@ type Options struct {
 	DialRetries    int
 	RequestRetries int
 	RetryBackoff   time.Duration
+
+	// TemplateCache, when set, provisions the System by COW-forking a
+	// cached template machine for this configuration instead of
+	// cold-booting one (see template.go). The first provisioning per
+	// (version, ftrace, inline, extra-files, dispatch, vCPUs) config
+	// pays the full boot; every subsequent one is a fork.
+	TemplateCache *TemplateCache
 }
 
 // StageTimes reports the virtual time each pipeline stage consumed for
@@ -120,16 +128,34 @@ type System struct {
 	Clock   *timing.Clock
 	Model   timing.Model
 
+	// platform/enclave/prog/client are nil on a forked System until
+	// first server use: fork-time provisioning is deliberately
+	// network-free, and ensureAttached performs the dial, attested
+	// hello, and enclave load lazily (overlapping with rollout wave
+	// scheduling instead of sitting on the provisioning critical
+	// path). Cold-booted Systems attach eagerly during NewSystem, as
+	// the paper's workflow describes.
 	platform *sgx.Platform
 	enclave  *sgx.Enclave
 	prog     *sgxprep.Program
 	client   *patchserver.Client
 	info     patchserver.OSInfo
 
-	// Retained so ApplyAll can dial extra attested fetch connections.
-	serverAddr string
-	meas       sgx.Measurement
-	attKey     []byte
+	// attachMu serializes the lazy attach; after it completes, client
+	// and friends are immutable. needBootstrap (also under attachMu)
+	// marks a forked System whose bootstrap key-exchange SMI is still
+	// pending.
+	attachMu      sync.Mutex
+	needBootstrap bool
+
+	// Retained so ApplyAll can dial extra attested fetch connections,
+	// and (for forks) so the lazy attach can build the enclave.
+	serverAddr  string
+	meas        sgx.Measurement
+	attKey      []byte
+	hashAlg     kcrypto.HashAlg
+	rng         io.Reader
+	sessionRoot []byte // non-nil on forks: derived-session channel root
 
 	// Client resilience knobs (see Options).
 	dialRetries    int
@@ -184,27 +210,71 @@ func (o *Options) Validate() error {
 // NewSystem boots the target machine, locks down SMM, attests and
 // loads the preparation enclave, and registers with the patch server.
 func NewSystem(opts Options) (*System, error) {
+	return NewSystemCtx(context.Background(), opts)
+}
+
+// NewSystemCtx is NewSystem with provisioning-time cancellation: ctx
+// is checked between boot stages (kernel build, machine boot, SMM
+// provisioning, server registration), so a halted rollout stops
+// booting stragglers instead of finishing every in-flight cold boot.
+// When Options.TemplateCache is set, provisioning forks a cached
+// template instead of cold-booting.
+func NewSystemCtx(ctx context.Context, opts Options) (*System, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	opts = withDefaults(opts)
+	if opts.TemplateCache != nil {
+		return opts.TemplateCache.System(ctx, opts)
+	}
+	m, k, info, err := bootTarget(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := provisionCold(ctx, opts, m, k, info)
+	if err != nil {
+		m.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// withDefaults canonicalizes the zero-value options — the same
+// defaults whether a System is cold-booted or template-forked, and
+// the basis of the template cache key.
+func withDefaults(opts Options) Options {
 	if opts.Version == "" {
 		opts.Version = "4.4"
 	}
 	if opts.HashAlg == 0 {
 		opts.HashAlg = kcrypto.HashSHA256
 	}
-	if opts.Dispatch == isa.DispatchLockstep && opts.NumVCPUs == 0 {
-		opts.NumVCPUs = 1 // lockstep rewinds shared memory; one vCPU only
+	if opts.NumVCPUs == 0 {
+		if opts.Dispatch == isa.DispatchLockstep {
+			opts.NumVCPUs = 1 // lockstep rewinds shared memory; one vCPU only
+		} else {
+			opts.NumVCPUs = 4
+		}
 	}
+	return opts
+}
 
-	// Build and boot the (vulnerable) kernel.
+// bootTarget builds the (vulnerable) kernel tree, boots the machine,
+// and runs kernel_init — everything a target needs before any
+// per-target secret exists. It is the shared front half of cold
+// provisioning and template construction.
+func bootTarget(ctx context.Context, opts Options) (*machine.Machine, *kernel.Kernel, patchserver.OSInfo, error) {
+	var info patchserver.OSInfo
+	if err := ctx.Err(); err != nil {
+		return nil, nil, info, err
+	}
 	tree, err := kernel.BaseTreeWithConfig(kernel.BuildConfig{
 		Version: opts.Version,
 		Ftrace:  !opts.DisableFtrace,
 		Inline:  !opts.DisableInline,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, info, err
 	}
 	extra := make([]string, 0, len(opts.ExtraFiles))
 	for name := range opts.ExtraFiles {
@@ -216,44 +286,49 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	img, _, err := tree.Build()
 	if err != nil {
-		return nil, fmt.Errorf("core: kernel build: %w", err)
+		return nil, nil, info, fmt.Errorf("core: kernel build: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, info, err
 	}
 	m, err := machine.New(machine.Config{NumVCPUs: opts.NumVCPUs, Dispatch: opts.Dispatch})
 	if err != nil {
-		return nil, err
+		return nil, nil, info, err
 	}
 	k, err := kernel.Boot(m, img, tree.Config())
 	if err != nil {
 		m.Stop()
-		return nil, err
+		return nil, nil, info, err
 	}
 	if _, err := k.Call(0, "kernel_init"); err != nil {
 		m.Stop()
-		return nil, fmt.Errorf("core: kernel init: %w", err)
+		return nil, nil, info, fmt.Errorf("core: kernel init: %w", err)
 	}
+	info = patchserver.OSInfo{
+		Version: opts.Version,
+		Ftrace:  tree.Config().Ftrace,
+		Inline:  tree.Config().Inline,
+	}
+	return m, k, info, nil
+}
 
-	clock := &timing.Clock{}
-	model := timing.Calibrated()
-
-	// Provision SMM: install the patching handler, then lock SMRAM.
+// provisionSMM installs the per-target SMM state on a booted machine:
+// controller, fresh status-attestation key, patching handler (in DH
+// mode, or derived-session mode when sessionRoot is set), and the
+// SMRAM lock. This always happens per target — never in the template —
+// so every fork's SMRAM holds its own secrets before it is sealed.
+func provisionSMM(opts Options, m *machine.Machine, k *kernel.Kernel, clock *timing.Clock, model timing.Model, rng io.Reader, sessionRoot []byte) (*smm.Controller, *smmpatch.Handler, []byte, error) {
 	ctrl, err := smm.NewController(m, kernel.SMRAMBase, clock, model)
 	if err != nil {
-		m.Stop()
-		return nil, err
+		return nil, nil, nil, err
 	}
 	// Status-attestation key: provisioned into SMRAM before lock and
 	// registered with the server, so deployment confirmations cannot
 	// be forged from the kernel-writable mailbox.
 	attKey := make([]byte, 32)
-	rng := opts.Rand
-	if rng == nil {
-		rng = cryptorand.Reader
-	}
 	if _, err := io.ReadFull(rng, attKey); err != nil {
-		m.Stop()
-		return nil, fmt.Errorf("core: attestation key: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: attestation key: %w", err)
 	}
-
 	handler, err := smmpatch.New(smmpatch.Config{
 		Reserved:        k.Res,
 		KernelVersion:   opts.Version,
@@ -262,80 +337,37 @@ func NewSystem(opts Options) (*System, error) {
 		TextBase:        kernel.TextBase,
 		TextSize:        kernel.TextRegionSize,
 		AttestationKey:  attKey,
+		SessionRoot:     sessionRoot,
 	})
 	if err != nil {
-		m.Stop()
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := handler.Register(ctrl); err != nil {
-		m.Stop()
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := ctrl.Lock(); err != nil {
-		m.Stop()
-		return nil, err
+		return nil, nil, nil, err
 	}
+	return ctrl, handler, attKey, nil
+}
 
-	// Register with the patch server under the enclave's expected
-	// measurement, receiving the attested channel key.
-	info := patchserver.OSInfo{
-		Version: opts.Version,
-		Ftrace:  tree.Config().Ftrace,
-		Inline:  tree.Config().Inline,
-	}
-	dialOpts := []patchserver.DialOption{
-		patchserver.WithDialRetries(opts.DialRetries),
-		patchserver.WithRequestRetries(opts.RequestRetries),
-	}
-	if opts.RetryBackoff > 0 {
-		dialOpts = append(dialOpts, patchserver.WithRetryBackoff(opts.RetryBackoff))
-	}
-	client, err := patchserver.Dial(opts.ServerAddr, dialOpts...)
-	if err != nil {
-		m.Stop()
-		return nil, err
-	}
-	meas := sgx.MeasureIdentity(sgxprep.Identity(opts.Version))
-	serverKey, err := client.HelloWithAttestation(info, meas, attKey)
-	if err != nil {
-		client.Close()
-		m.Stop()
-		return nil, err
-	}
+// provisionCold finishes a cold boot the paper's way: SMM lock, eager
+// server registration, eager enclave load, and the bootstrap
+// key-exchange SMI.
+func provisionCold(ctx context.Context, opts Options, m *machine.Machine, k *kernel.Kernel, info patchserver.OSInfo) (*System, error) {
+	clock := &timing.Clock{}
+	model := timing.Calibrated()
 
-	// Load the preparation enclave.
-	platform, err := sgx.NewPlatform(m.Mem, kernel.EPCBase, kernel.EPCSize)
+	rng := opts.Rand
+	if rng == nil {
+		rng = cryptorand.Reader
+	}
+	ctrl, handler, attKey, err := provisionSMM(opts, m, k, clock, model, rng, nil)
 	if err != nil {
-		client.Close()
-		m.Stop()
 		return nil, err
 	}
-	prog, err := sgxprep.New(sgxprep.Config{
-		ServerKey:     serverKey,
-		KernelVersion: opts.Version,
-		KernelSymbols: k.Symbols().All(),
-		Placement:     handler.Placement(),
-		HashAlg:       opts.HashAlg,
-		Clock:         clock,
-		Model:         model,
-		Rand:          opts.Rand,
-	})
-	if err != nil {
-		client.Close()
-		m.Stop()
+	if err := ctx.Err(); err != nil {
 		return nil, err
-	}
-	enclave, err := platform.Load(prog, sgxprep.EnclavePages)
-	if err != nil {
-		client.Close()
-		m.Stop()
-		return nil, err
-	}
-	if enclave.Measurement() != meas {
-		enclave.Destroy()
-		client.Close()
-		m.Stop()
-		return nil, errors.New("core: loaded enclave does not match attested measurement")
 	}
 
 	s := &System{
@@ -345,14 +377,12 @@ func NewSystem(opts Options) (*System, error) {
 		Handler:    handler,
 		Clock:      clock,
 		Model:      model,
-		platform:   platform,
-		enclave:    enclave,
-		prog:       prog,
-		client:     client,
 		info:       info,
 		serverAddr: opts.ServerAddr,
-		meas:       meas,
+		meas:       sgx.MeasureIdentity(sgxprep.Identity(opts.Version)),
 		attKey:     attKey,
+		hashAlg:    opts.HashAlg,
+		rng:        opts.Rand,
 
 		dialRetries:    opts.DialRetries,
 		requestRetries: opts.RequestRetries,
@@ -360,12 +390,110 @@ func NewSystem(opts Options) (*System, error) {
 
 		helperPriv: mem.PrivUser,
 	}
+	// Register with the patch server under the enclave's expected
+	// measurement and load the preparation enclave, eagerly.
+	if err := s.attach(ctx); err != nil {
+		return nil, err
+	}
 	// Bootstrap the SMM channel key.
 	if err := ctrl.Trigger(smmpatch.CmdKeyExchange, 0); err != nil {
 		s.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// ensureAttached lazily performs the server-facing half of
+// provisioning for a forked System: dial, attested hello, SGX
+// platform construction, and the enclave load. It is a no-op once
+// attached (cold-booted Systems attach during NewSystem). Safe for
+// concurrent callers.
+func (s *System) ensureAttached(ctx context.Context) error {
+	s.attachMu.Lock()
+	defer s.attachMu.Unlock()
+	if s.client == nil {
+		if err := s.attach(ctx); err != nil {
+			return err
+		}
+	}
+	// Forked Systems also defer the bootstrap key-exchange SMI to first
+	// contact: the fork's SMRAM is locked and keyed at Fork time, but
+	// publishing the channel nonce writes guest memory, and deferring it
+	// keeps a fresh fork's private frame count at zero. Cold boots run
+	// the SMI during provisioning and never set needBootstrap.
+	if s.needBootstrap {
+		if err := s.SMM.Trigger(smmpatch.CmdKeyExchange, 0); err != nil {
+			return err
+		}
+		s.needBootstrap = false
+	}
+	return nil
+}
+
+// attach performs the dial + hello + enclave-load sequence. Callers
+// hold attachMu or are single-threaded construction paths.
+func (s *System) attach(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	client, err := patchserver.Dial(s.serverAddr, s.dialOptions()...)
+	if err != nil {
+		return err
+	}
+	serverKey, err := client.HelloWithAttestation(s.info, s.meas, s.attKey)
+	if err != nil {
+		client.Close()
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		client.Close()
+		return err
+	}
+
+	platform, err := sgx.NewPlatform(s.Machine.Mem, kernel.EPCBase, kernel.EPCSize)
+	if err != nil {
+		client.Close()
+		return err
+	}
+	prog, err := sgxprep.New(sgxprep.Config{
+		ServerKey:     serverKey,
+		KernelVersion: s.info.Version,
+		KernelSymbols: s.Kernel.Symbols().All(),
+		Placement:     s.Handler.Placement(),
+		HashAlg:       s.hashAlg,
+		Clock:         s.Clock,
+		Model:         s.Model,
+		Rand:          s.rng,
+		SessionRoot:   s.sessionRoot,
+	})
+	if err != nil {
+		client.Close()
+		return err
+	}
+	enclave, err := platform.Load(prog, sgxprep.EnclavePages)
+	if err != nil {
+		client.Close()
+		return err
+	}
+	if enclave.Measurement() != s.meas {
+		enclave.Destroy()
+		client.Close()
+		return errors.New("core: loaded enclave does not match attested measurement")
+	}
+	// Hooks installed before attach propagate to the new layers (the
+	// client picked them up through dialOptions).
+	if s.fi != nil {
+		platform.SetFaultInjector(s.fi)
+	}
+	if s.obs != nil {
+		platform.SetObserver(s.obs)
+		prog.SetObserver(s.obs)
+	}
+	s.client = client
+	s.platform = platform
+	s.prog = prog
+	s.enclave = enclave
+	return nil
 }
 
 // SetFaultInjector threads a fault injection set through every layer
@@ -378,8 +506,14 @@ func (s *System) SetFaultInjector(fi *faultinject.Set) {
 	s.Machine.Mem.SetFaultInjector(fi)
 	s.SMM.SetFaultInjector(fi)
 	s.Handler.SetFaultInjector(fi)
-	s.platform.SetFaultInjector(fi)
-	s.client.SetFaultInjector(fi)
+	// Server-facing layers exist only after attach; ensureAttached
+	// re-applies the stored set to them.
+	if s.platform != nil {
+		s.platform.SetFaultInjector(fi)
+	}
+	if s.client != nil {
+		s.client.SetFaultInjector(fi)
+	}
 	s.wireFaultObserver()
 }
 
@@ -393,9 +527,15 @@ func (s *System) SetObserver(ob *obs.Hooks) {
 	s.obs = ob
 	s.SMM.SetObserver(ob)
 	s.Handler.SetObserver(ob)
-	s.platform.SetObserver(ob)
-	s.client.SetObserver(ob)
-	s.prog.SetObserver(ob)
+	if s.platform != nil {
+		s.platform.SetObserver(ob)
+	}
+	if s.client != nil {
+		s.client.SetObserver(ob)
+	}
+	if s.prog != nil {
+		s.prog.SetObserver(ob)
+	}
 	s.wireFaultObserver()
 }
 
@@ -415,7 +555,9 @@ func (s *System) wireFaultObserver() {
 // injected latency never depend on the host clock.
 func (s *System) SetWallClock(wc timing.WallClock) {
 	s.wall = wc
-	s.client.SetWallClock(wc)
+	if s.client != nil {
+		s.client.SetWallClock(wc)
+	}
 }
 
 // dialOptions builds the options for an extra attested patch-server
@@ -492,6 +634,9 @@ func (s *System) Close() {
 // and is checked between stages; cancellation never interrupts an SMI
 // already raised, so the system stays consistent.
 func (s *System) Apply(ctx context.Context, cve string) (*Report, error) {
+	if err := s.ensureAttached(ctx); err != nil {
+		return nil, err
+	}
 	st := StageTimes{}
 	// Stage 1: fetch the encrypted patch (untrusted helper, network).
 	blob, err := s.fetchBlob(ctx, s.client, cve, &st)
@@ -555,6 +700,9 @@ func (s *System) applyPrepared(ctx context.Context, cve string, blob []byte, st 
 
 // Rollback undoes the most recently applied patch (§V-C).
 func (s *System) Rollback(ctx context.Context, cve string) (*Report, error) {
+	if err := s.ensureAttached(ctx); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

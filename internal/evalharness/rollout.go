@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"kshot/internal/core"
@@ -32,13 +33,46 @@ type RolloutBenchResult struct {
 
 	MeanPause time.Duration `json:"mean_target_pause_ns"`
 	P99Pause  time.Duration `json:"p99_target_pause_ns"`
+
+	// Provisioning accounting: how much of the rollout went into
+	// standing targets up, and at what rate. With TemplateFork set the
+	// template-cache counters show how the fleet shared boots.
+	TemplateFork    bool          `json:"template_fork"`
+	ProvisionMean   time.Duration `json:"provision_mean_ns"`
+	ProvisionPerSec float64       `json:"provisions_per_sec"`
+	TemplateHits    int64         `json:"template_hits,omitempty"`
+	TemplateMisses  int64         `json:"template_misses,omitempty"`
+	TemplateForks   int64         `json:"template_forks,omitempty"`
+}
+
+// RolloutBenchOptions parameterizes RunRolloutBenchOpts. The zero
+// value gets the historical defaults (2 targets, 1 domain, 2 CVEs,
+// concurrency 4, cold boots).
+type RolloutBenchOptions struct {
+	Targets     int
+	Domains     int
+	CVEs        int
+	Concurrency int
+
+	// TemplateFork provisions the fleet by COW-forking one cached
+	// template per configuration instead of cold-booting every target.
+	TemplateFork bool
 }
 
 // RunRolloutBench measures the rollout orchestrator end to end:
 // targets simulated machines across domains failure domains, patching
 // cves CVEs from the benchmark registry in staged waves of
-// concurrency-bounded parallelism.
+// concurrency-bounded parallelism. Targets are cold-booted; use
+// RunRolloutBenchOpts to fork them from a template instead.
 func RunRolloutBench(targets, domains, cves, concurrency int) (*RolloutBenchResult, error) {
+	return RunRolloutBenchOpts(RolloutBenchOptions{
+		Targets: targets, Domains: domains, CVEs: cves, Concurrency: concurrency,
+	})
+}
+
+// RunRolloutBenchOpts is RunRolloutBench with the full option set.
+func RunRolloutBenchOpts(o RolloutBenchOptions) (*RolloutBenchResult, error) {
+	targets, domains, cves, concurrency := o.Targets, o.Domains, o.CVEs, o.Concurrency
 	if targets < 2 {
 		targets = 2
 	}
@@ -77,15 +111,33 @@ func RunRolloutBench(targets, domains, cves, concurrency int) (*RolloutBenchResu
 		}
 	}
 
+	sysOpts := core.Options{
+		Version:    "4.4",
+		ExtraFiles: files,
+		ServerAddr: srv.Addr(),
+	}
+	var cache *core.TemplateCache
+	if o.TemplateFork {
+		cache = core.NewTemplateCache()
+		defer cache.Close()
+		sysOpts.TemplateCache = cache
+	}
+	// Provisioning rate is accounted inside the provisioner so it
+	// reflects exactly what the orchestrator paid, wave scheduling and
+	// all excluded.
+	var provNanos, provCount atomic.Int64
 	roll, err := orchestrator.New(
 		orchestrator.WithTargets(fleet),
 		orchestrator.WithCVEs(ids...),
 		orchestrator.WithProvisioner(func(ctx context.Context, t orchestrator.Target) (orchestrator.Patcher, error) {
-			return core.NewSystem(core.Options{
-				Version:    "4.4",
-				ExtraFiles: files,
-				ServerAddr: srv.Addr(),
-			})
+			start := time.Now()
+			sys, err := core.NewSystemCtx(ctx, sysOpts)
+			if err != nil {
+				return nil, err
+			}
+			provNanos.Add(int64(time.Since(start)))
+			provCount.Add(1)
+			return sys, nil
 		}),
 		orchestrator.WithSeed(1),
 		orchestrator.WithFirstWaveFraction(0.05),
@@ -111,9 +163,21 @@ func RunRolloutBench(targets, domains, cves, concurrency int) (*RolloutBenchResu
 		Failed:   res.Failed,
 		RolledBk: res.RolledBack,
 		Wall:     wall,
+
+		TemplateFork: o.TemplateFork,
 	}
 	if wall > 0 {
 		out.TargetsPerSec = float64(targets) / wall.Seconds()
+	}
+	if n := provCount.Load(); n > 0 {
+		out.ProvisionMean = time.Duration(provNanos.Load() / n)
+		if provNanos.Load() > 0 {
+			out.ProvisionPerSec = float64(n) / (time.Duration(provNanos.Load())).Seconds()
+		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		out.TemplateHits, out.TemplateMisses, out.TemplateForks = st.Hits, st.Misses, st.Forks
 	}
 
 	pauses := make([]time.Duration, 0, len(res.Targets))

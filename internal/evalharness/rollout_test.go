@@ -25,4 +25,47 @@ func TestRunRolloutBench(t *testing.T) {
 	if res.MeanPause <= 0 || res.P99Pause < res.MeanPause {
 		t.Errorf("pause stats inconsistent: mean=%v p99=%v", res.MeanPause, res.P99Pause)
 	}
+	if res.TemplateFork || res.TemplateForks != 0 {
+		t.Errorf("cold rollout reported template traffic: %+v", res)
+	}
+	if res.ProvisionMean <= 0 || res.ProvisionPerSec <= 0 {
+		t.Errorf("provision rate not measured: %+v", res)
+	}
+}
+
+// TestRolloutForkedMatchesCold runs the same small fleet twice — cold
+// boots versus template forks — and demands identical patch outcomes
+// and identical virtual pause metrics: the provisioning mode may only
+// change wall-clock, never what the fleet's OSes observed.
+func TestRolloutForkedMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full rollout bench skipped in -short mode")
+	}
+	base := RolloutBenchOptions{Targets: 6, Domains: 2, CVEs: 2, Concurrency: 3}
+
+	cold, err := RunRolloutBenchOpts(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkedOpts := base
+	forkedOpts.TemplateFork = true
+	forked, err := RunRolloutBenchOpts(forkedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if forked.Patched != cold.Patched || forked.Failed != cold.Failed || forked.RolledBk != cold.RolledBk {
+		t.Errorf("outcomes diverge: cold %+v forked %+v", cold, forked)
+	}
+	if forked.MeanPause != cold.MeanPause || forked.P99Pause != cold.P99Pause {
+		t.Errorf("virtual pause diverges: cold mean=%v p99=%v, forked mean=%v p99=%v",
+			cold.MeanPause, cold.P99Pause, forked.MeanPause, forked.P99Pause)
+	}
+	if forked.TemplateMisses != 1 || forked.TemplateForks != int64(base.Targets) {
+		t.Errorf("template traffic: misses=%d forks=%d, want 1 and %d",
+			forked.TemplateMisses, forked.TemplateForks, base.Targets)
+	}
+	t.Logf("cold provision %v/target, forked %v/target (%.1fx)",
+		cold.ProvisionMean, forked.ProvisionMean,
+		float64(cold.ProvisionMean)/float64(forked.ProvisionMean))
 }

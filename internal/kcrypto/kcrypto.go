@@ -213,6 +213,27 @@ func VerifyMAC(key, data []byte, mac [DigestSize]byte) bool {
 	return hmac.Equal(want[:], mac[:])
 }
 
+// DeriveKey derives a 32-byte subkey from root and the given context
+// parts via HMAC-SHA256 (a one-block HKDF-expand). Parts are
+// length-prefixed, so distinct part boundaries can never collide. It
+// is the ratchet primitive of the derived-session channel used by
+// template forks: both endpoints hold the fork's session root and mix
+// in the fresh per-package nonces each side publishes through mem_RW,
+// replacing the per-package DH exponentiation with one MAC while
+// keeping the same publish/consume dataflow.
+func DeriveKey(root []byte, parts ...[]byte) []byte {
+	h := hmac.New(sha256.New, root)
+	var lp [8]byte
+	for _, p := range parts {
+		for i := range lp {
+			lp[i] = byte(uint64(len(p)) >> (8 * (7 - i)))
+		}
+		h.Write(lp[:])
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
 // SDBM computes the classic SDBM string hash over data, extended to
 // 64 bits. It is fast and adequate for detecting accidental
 // corruption, but offers no cryptographic collision resistance — the

@@ -93,6 +93,24 @@ func (k *Kernel) loadImage(img *isa.Image) error {
 	return nil
 }
 
+// Fork rebinds this kernel onto m2, a machine forked from k.M. The
+// image pointer is shared (isa.Image is immutable after build; even
+// ReplaceImage swaps the pointer rather than mutating), the mapped
+// segments and loaded bytes already exist in the forked memory, and
+// the Reserved view is re-resolved against the fork's duplicated
+// region table so per-fork permission changes (the SMRAM-style locks)
+// never alias the template's regions.
+func (k *Kernel) Fork(m2 *machine.Machine) (*Kernel, error) {
+	if m2.Mem.Origin() != k.M.Mem {
+		return nil, fmt.Errorf("kernel: fork target was not forked from this kernel's machine")
+	}
+	res, err := mem.ReservedFrom(m2.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %w", err)
+	}
+	return &Kernel{M: m2, Img: k.Img, Res: res, cfg: k.cfg}, nil
+}
+
 // Config returns the build configuration the kernel was compiled with.
 func (k *Kernel) Config() BuildConfig { return k.cfg }
 

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"kshot/internal/mem"
+)
+
+func TestForkRunsIndependently(t *testing.T) {
+	m, img := newTestMachine(t, 2)
+	e := entry(t, img, "bump")
+	sym, _ := img.Symbols.Lookup("counter")
+
+	// Prime the template's counter, then fork.
+	if _, err := m.VCPU(0).Call(e, 10000); err != nil {
+		t.Fatal(err)
+	}
+	child, err := m.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(child.Stop)
+	if child.NumVCPUs() != m.NumVCPUs() {
+		t.Fatalf("fork has %d vCPUs, template %d", child.NumVCPUs(), m.NumVCPUs())
+	}
+
+	// The fork sees the template's state and computes on its own
+	// memory: its bumps never show up in the template.
+	for i := 0; i < 4; i++ {
+		if _, err := child.VCPU(i%2).Call(e, 10000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cv, err := child.Mem.ReadU64(mem.PrivKernel, sym.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv != 5 {
+		t.Errorf("fork counter = %d, want 5 (1 inherited + 4 own)", cv)
+	}
+	tv, err := m.Mem.ReadU64(mem.PrivKernel, sym.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv != 1 {
+		t.Errorf("template counter = %d after fork ran, want 1", tv)
+	}
+}
+
+func TestForkConcurrentSiblings(t *testing.T) {
+	m, img := newTestMachine(t, 2)
+	e := entry(t, img, "bump")
+	sym, _ := img.Symbols.Lookup("counter")
+
+	const forks = 4
+	children := make([]*Machine, forks)
+	for i := range children {
+		c, err := m.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Stop)
+		children[i] = c
+	}
+	var wg sync.WaitGroup
+	for i, c := range children {
+		wg.Add(1)
+		go func(i int, c *Machine) {
+			defer wg.Done()
+			for j := 0; j <= i; j++ { // fork i bumps i+1 times
+				if _, err := c.VCPU(0).Call(e, 10000); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, c := range children {
+		v, err := c.Mem.ReadU64(mem.PrivKernel, sym.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i+1) {
+			t.Errorf("fork %d counter = %d, want %d", i, v, i+1)
+		}
+	}
+	if v, _ := m.Mem.ReadU64(mem.PrivKernel, sym.Addr); v != 0 {
+		t.Errorf("template counter = %d, want 0", v)
+	}
+}
+
+func TestForkOfStoppedMachine(t *testing.T) {
+	m, _ := newTestMachine(t, 1)
+	m.Stop()
+	if _, err := m.Fork(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("fork of stopped machine: err = %v, want ErrStopped", err)
+	}
+}

@@ -103,6 +103,45 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// Fork clones the machine copy-on-write: the child gets a
+// mem.Physical.Fork of physical memory (shared clean frames, private
+// dirty frames, duplicated region table) and fresh vCPUs with fresh
+// runner goroutines, stacks, and predecoded-block caches. Nothing is
+// re-mapped — the per-vCPU stack regions are already present in the
+// forked region table — so a fork costs O(frames) pointer work plus
+// vCPU construction, independent of how much memory is resident.
+//
+// The parent must be quiescent (no call sessions in flight, no SMI
+// pending); this is the template-fork provisioning contract — a
+// template machine halts after kernel init and is only ever forked.
+// Parent and child then run fully independently: separate pause
+// gates, separate code epochs, separate block caches.
+func (m *Machine) Fork() (*Machine, error) {
+	m.mu.Lock()
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		return nil, ErrStopped
+	}
+	child := &Machine{Mem: m.Mem.Fork(), dispatch: m.dispatch}
+	child.gate.init()
+	for i := range m.vcpus {
+		base := StackRegionBase + uint64(i)*StackSize
+		cpu := isa.New(child.Mem, mem.PrivKernel)
+		v := &VCPU{
+			ID:       i,
+			cpu:      cpu,
+			runner:   isa.NewRunner(cpu, m.dispatch),
+			stackTop: base + StackSize,
+			machine:  child,
+			reqs:     make(chan *callReq),
+		}
+		child.vcpus = append(child.vcpus, v)
+		go v.run()
+	}
+	return child, nil
+}
+
 // NumVCPUs returns the vCPU count.
 func (m *Machine) NumVCPUs() int { return len(m.vcpus) }
 

@@ -264,6 +264,12 @@ type Physical struct {
 	// block caches (internal/isa) key on it — an epoch mismatch means
 	// "re-decode", which is the entire invalidation protocol.
 	codeGen atomic.Uint64
+
+	// origin, when non-nil, is the Physical this one was forked from
+	// (see fork.go). It widens snapshot ownership: a fork accepts
+	// snapshots taken of any ancestor, so isolation checks can diff a
+	// fork against the template capture.
+	origin *Physical
 }
 
 // New creates a physical memory of the given size with no mapped

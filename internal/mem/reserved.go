@@ -72,6 +72,20 @@ func DefaultReservedLayout() ReservedLayout {
 	return ReservedLayout{RWSize: MemRWSize, WSize: MemWSize, XSize: MemXSize}
 }
 
+// ReservedFrom rebinds a Reserved view to regions already mapped in m
+// — the forked-Physical case, where Fork duplicated the region table
+// with fresh Region objects and a Reserved built against the parent
+// would silently alias the parent's permissions.
+func ReservedFrom(m *Physical) (*Reserved, error) {
+	rw := m.Region(RegionMemRW)
+	w := m.Region(RegionMemW)
+	x := m.Region(RegionMemX)
+	if rw == nil || w == nil || x == nil {
+		return nil, fmt.Errorf("reserved: kshot regions not mapped")
+	}
+	return &Reserved{Base: rw.Base, RW: rw, W: w, X: x}, nil
+}
+
 // MapReserved maps the three-part KShot reserved region at base with
 // the paper's default 18 MB layout.
 func MapReserved(m *Physical, base uint64) (*Reserved, error) {

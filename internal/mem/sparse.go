@@ -1,6 +1,9 @@
 package mem
 
-import "bytes"
+import (
+	"bytes"
+	"sync/atomic"
+)
 
 // Sparse frame store. Physical memory is split into fixed 64 KiB
 // frames, materialized on first write; a nil frame slot reads as
@@ -31,11 +34,17 @@ const (
 
 // frame is one 64 KiB unit of backing storage.
 type frame struct {
-	// shared is set while at least one snapshot references this
-	// frame; writers must clone instead of mutating in place. It is
-	// only read and written under the frame's shard lock (Snapshot
-	// and Restore hold all shards).
-	shared bool
+	// shared is set while at least one snapshot or forked Physical
+	// references this frame; writers must clone instead of mutating in
+	// place. The flag is monotonic (set-only): a frame can become
+	// cross-referenced, but a clone — the only way back to exclusive
+	// ownership — is a fresh frame object. It is atomic rather than
+	// shard-lock protected because after Fork the same frame object is
+	// reachable from Physicals with independent shard locks; atomicity
+	// plus monotonicity keeps the invariant race-free: a frame is only
+	// ever published to a second owner *after* shared is set, so a
+	// writer that observes shared==false holds the frame exclusively.
+	shared atomic.Bool
 	data   [FrameSize]byte
 }
 
@@ -129,7 +138,7 @@ func (m *Physical) writeFrames(addr uint64, src []byte) {
 		case fr == nil:
 			fr = new(frame)
 			m.frames[idx].Store(fr)
-		case fr.shared:
+		case fr.shared.Load():
 			cl := new(frame)
 			cl.data = fr.data
 			fr = cl
@@ -162,7 +171,7 @@ func (m *Physical) zeroFrames(addr, n uint64) {
 		}
 		fr := m.frames[idx].Load()
 		if fr != nil {
-			if fr.shared {
+			if fr.shared.Load() {
 				cl := new(frame)
 				cl.data = fr.data
 				fr = cl
@@ -179,16 +188,41 @@ func (m *Physical) zeroFrames(addr, n uint64) {
 // materialized — the sparse store's actual footprint, as opposed to
 // Size(), the simulated physical size.
 func (m *Physical) ResidentBytes() uint64 {
-	var n uint64
+	st := m.ResidentStats()
+	return st.SharedBytes + st.PrivateBytes
+}
+
+// ResidentStats is ResidentBytes split by ownership.
+type ResidentStats struct {
+	// SharedBytes counts resident frames that may also back a
+	// snapshot, the fork template, or sibling forks — the memory a
+	// fleet of forks amortizes across targets.
+	SharedBytes uint64
+	// PrivateBytes counts resident frames this Physical owns
+	// exclusively — its copy-on-write dirty set.
+	PrivateBytes uint64
+}
+
+// ResidentStats returns the materialized footprint split into frames
+// shared with snapshots/forks versus frames private to this Physical.
+// For a forked System the private figure is the true marginal memory
+// cost of that fork.
+func (m *Physical) ResidentStats() ResidentStats {
+	var st ResidentStats
 	for i := range m.frames {
 		mu := &m.shards[i&(lockShards-1)]
 		mu.RLock()
-		if m.frames[i].Load() != nil {
-			n += FrameSize
+		fr := m.frames[i].Load()
+		if fr != nil {
+			if fr.shared.Load() {
+				st.SharedBytes += FrameSize
+			} else {
+				st.PrivateBytes += FrameSize
+			}
 		}
 		mu.RUnlock()
 	}
-	return n
+	return st
 }
 
 // Snapshot is a frame-granular copy-on-write capture of a Physical's
@@ -211,7 +245,7 @@ func (m *Physical) Snapshot() *Snapshot {
 	for i := range m.frames {
 		fr := m.frames[i].Load()
 		if fr != nil {
-			fr.shared = true
+			fr.shared.Store(true)
 		}
 		s.frames[i] = fr
 	}
@@ -221,15 +255,18 @@ func (m *Physical) Snapshot() *Snapshot {
 
 // Restore rewinds memory contents to the snapshot. The snapshot
 // remains valid (and copy-on-write protected), so the same snapshot
-// can be restored repeatedly — the reset step of a chaos cycle.
+// can be restored repeatedly — the reset step of a chaos cycle. A
+// forked Physical may also restore a snapshot of any ancestor in its
+// fork chain (rewinding the fork to template state); the ancestor is
+// unaffected, since restored frames stay copy-on-write.
 func (m *Physical) Restore(s *Snapshot) error {
-	if s == nil || s.m != m {
+	if s == nil || !m.ownsSnapshot(s) {
 		return errSnapshotForeign
 	}
 	m.lockMask(^uint64(0), true)
 	for i, fr := range s.frames {
 		if fr != nil {
-			fr.shared = true
+			fr.shared.Store(true)
 		}
 		m.frames[i].Store(fr)
 	}
@@ -263,8 +300,22 @@ type errSnapshot struct{}
 
 func (errSnapshot) Error() string { return "mem: snapshot belongs to a different Physical" }
 
+// ownsSnapshot reports whether s was taken of m or of an ancestor in
+// m's fork chain. Ancestor snapshots are byte-compatible: Fork
+// preserves size and frame geometry, so diffing a fork against its
+// template's snapshot is exactly the "what did this fork touch?"
+// question the isolation suite asks.
+func (m *Physical) ownsSnapshot(s *Snapshot) bool {
+	for p := m; p != nil; p = p.origin {
+		if s.m == p {
+			return true
+		}
+	}
+	return false
+}
+
 func (m *Physical) diffFrames(s *Snapshot, base, size uint64) ([]uint64, error) {
-	if s == nil || s.m != m {
+	if s == nil || !m.ownsSnapshot(s) {
 		return nil, errSnapshotForeign
 	}
 	if size == 0 {

@@ -90,6 +90,7 @@ type Metrics struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]func() int64
 }
 
 // NewMetrics builds an empty registry.
@@ -97,7 +98,22 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() int64),
 	}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// snapshot time — the right shape for instantaneous figures like
+// resident memory, where a stored value would always be stale. A
+// later registration under the same name replaces the function; fn
+// must be safe to call from any goroutine.
+func (m *Metrics) GaugeFunc(name string, fn func() int64) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = fn
+	m.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -186,9 +202,16 @@ type HistSnap struct {
 	Sum    float64
 }
 
+// GaugeSnap is one evaluated gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value int64
+}
+
 // MetricsSnap is a point-in-time copy of the registry, sorted by name.
 type MetricsSnap struct {
 	Counters []CounterSnap
+	Gauges   []GaugeSnap
 	Hists    []HistSnap
 }
 
@@ -204,6 +227,9 @@ func (m *Metrics) Snapshot() MetricsSnap {
 	for name, c := range m.counters {
 		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
 	}
+	for name, fn := range m.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: fn()})
+	}
 	for name, h := range m.hists {
 		hs := HistSnap{
 			Name:   name,
@@ -218,6 +244,7 @@ func (m *Metrics) Snapshot() MetricsSnap {
 		snap.Hists = append(snap.Hists, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
 	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
 	return snap
 }
@@ -228,6 +255,9 @@ func (s MetricsSnap) RenderText(w io.Writer) error {
 	var b strings.Builder
 	for _, c := range s.Counters {
 		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%s %d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Hists {
 		fmt.Fprintf(&b, "%s count=%d sum=%.3f\n", h.Name, h.Count, h.Sum)

@@ -99,6 +99,19 @@ const (
 	CtrRolloutRolledBack      = "rollout.targets.rolled_back"
 	CtrRolloutResumeSkips     = "rollout.resume.skipped"
 
+	// Template-fork provisioning metrics (the core template cache and
+	// the memory layer's copy-on-write fork accounting).
+	CtrTemplateHits   = "template.cache.hits"
+	CtrTemplateMisses = "template.cache.misses"
+	CtrTemplateForks  = "template.cache.forks"
+
+	// Snapshot-time gauges (GaugeFunc) for the resident-frame split of
+	// a machine's physical memory: shared frames are COW references to
+	// a template or snapshot, private ones are this machine's own
+	// marginal footprint.
+	GaugeMemSharedBytes  = "mem.resident.shared_bytes"
+	GaugeMemPrivateBytes = "mem.resident.private_bytes"
+
 	// FaultPrefix prefixes one counter per fired fault-injection point
 	// (e.g. "fault.smm.refuse").
 	FaultPrefix = "fault."
@@ -156,6 +169,14 @@ func (h *Hooks) Count(name string, delta int64) {
 		return
 	}
 	h.Metrics.Add(name, delta)
+}
+
+// GaugeFunc registers a snapshot-time-evaluated gauge.
+func (h *Hooks) GaugeFunc(name string, fn func() int64) {
+	if h == nil {
+		return
+	}
+	h.Metrics.GaugeFunc(name, fn)
 }
 
 // Observe records a sample into the named histogram.

@@ -158,6 +158,16 @@ type Config struct {
 
 	// Rand is the entropy source (crypto/rand when nil).
 	Rand io.Reader
+
+	// SessionRoot, when 32 bytes, switches the SGX↔SMM channel into
+	// derived-session mode (template forks): sealForSMM draws a fresh
+	// random 32-byte salt instead of an ephemeral DH pair and seals
+	// with HMAC(root, smmNonce, salt), publishing the salt through the
+	// EnclavePub slot. The same root is provisioned into the fork's
+	// SMM handler before SMRAM lock. Nil keeps the paper's DH
+	// exchange. See smmpatch.Config.SessionRoot for the protocol
+	// rationale.
+	SessionRoot []byte
 }
 
 // Program is the enclave program; load it with sgx.Platform.Load.
@@ -175,6 +185,9 @@ var _ sgx.Program = (*Program)(nil)
 func New(cfg Config) (*Program, error) {
 	if len(cfg.ServerKey) != 32 {
 		return nil, errors.New("sgxprep: server key must be 32 bytes")
+	}
+	if len(cfg.SessionRoot) != 0 && len(cfg.SessionRoot) != 32 {
+		return nil, errors.New("sgxprep: session root must be 32 bytes")
 	}
 	if cfg.HashAlg == 0 {
 		cfg.HashAlg = kcrypto.HashSHA256
@@ -376,16 +389,32 @@ func (p *Program) prepareRollback(_ *sgx.Env, in RollbackArgs) ([]byte, error) {
 	return gobEncode(res)
 }
 
-// sealForSMM performs the enclave's half of the DH exchange and
-// encrypts the wire package for the mem_W channel.
+// sealForSMM performs the enclave's half of the channel exchange and
+// encrypts the wire package for the mem_W channel: the paper's
+// ephemeral-DH half in cold-boot mode, or a fresh ratchet salt mixed
+// with the fork's session root in derived-session mode. Either way
+// the enclave contributes fresh per-package entropy through the
+// EnclavePub slot, so the SMM side's consume-once replay protection
+// behaves identically in both modes.
 func (p *Program) sealForSMM(wire, smmPub []byte) (*Result, error) {
-	kp, err := kcrypto.GenerateKeyPair(p.rng)
-	if err != nil {
-		return nil, err
-	}
-	shared, err := kp.SharedSecret(smmPub)
-	if err != nil {
-		return nil, fmt.Errorf("sgxprep: key agreement: %w", err)
+	var shared, pub []byte
+	if len(p.cfg.SessionRoot) != 0 {
+		salt := make([]byte, 32)
+		if _, err := io.ReadFull(p.rng, salt); err != nil {
+			return nil, fmt.Errorf("sgxprep: salt: %w", err)
+		}
+		shared = kcrypto.DeriveKey(p.cfg.SessionRoot, smmPub, salt)
+		pub = salt
+	} else {
+		kp, err := kcrypto.GenerateKeyPair(p.rng)
+		if err != nil {
+			return nil, err
+		}
+		shared, err = kp.SharedSecret(smmPub)
+		if err != nil {
+			return nil, fmt.Errorf("sgxprep: key agreement: %w", err)
+		}
+		pub = kp.PublicBytes()
 	}
 	session, err := kcrypto.NewSession(shared, p.rng)
 	if err != nil {
@@ -395,7 +424,7 @@ func (p *Program) sealForSMM(wire, smmPub []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Ciphertext: ct, EnclavePub: kp.PublicBytes()}, nil
+	return &Result{Ciphertext: ct, EnclavePub: pub}, nil
 }
 
 func gobEncode(v any) ([]byte, error) {

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"kshot/internal/faultinject"
-	"kshot/internal/kcrypto"
 	"kshot/internal/mem"
 	"kshot/internal/obs"
 	"kshot/internal/patch"
@@ -63,13 +62,13 @@ type BatchMember struct {
 // single world switch.
 func (h *Handler) handleBatch(ctx *smm.Context, _ uint64) error {
 	h.lastBatch = nil
-	if h.keypair == nil {
+	if h.key == nil {
 		return h.fail(ctx, ErrNoSession)
 	}
-	// One key pair serves the whole batch and is consumed by it
-	// (replay of any member dies with the rekey below).
-	kp := h.keypair
-	h.keypair = nil
+	// One channel credential serves the whole batch and is consumed by
+	// it (replay of any member dies with the rekey below).
+	key := h.key
+	h.key = nil
 	defer func() {
 		_ = h.rekey(ctx)
 	}()
@@ -100,7 +99,7 @@ func (h *Handler) handleBatch(ctx *smm.Context, _ uint64) error {
 			break
 		}
 		bd := Breakdown{KeyGen: keyGenShare}
-		codes[i] = h.processBatchMember(ctx, kp, m, &bd)
+		codes[i] = h.processBatchMember(ctx, key, m, &bd)
 		if codes[i] == StatusPatched {
 			applied++
 			h.observeOutcome(h.lastJournalID(), bd, h.journalPayloadBytes(), obs.CtrApplied)
@@ -124,8 +123,8 @@ func (h *Handler) handleBatch(ctx *smm.Context, _ uint64) error {
 // decrypt/verify, and the transactional apply, mapping the outcome to
 // a mailbox status code. Member-level errors are deliberately not
 // propagated: the batch continues.
-func (h *Handler) processBatchMember(ctx *smm.Context, kp *kcrypto.KeyPair, m BatchMember, bd *Breakdown) uint32 {
-	session, err := h.sessionFor(kp, m.EnclavePub)
+func (h *Handler) processBatchMember(ctx *smm.Context, key *chanKey, m BatchMember, bd *Breakdown) uint32 {
+	session, err := h.sessionFor(key, m.EnclavePub)
 	if err != nil {
 		return StatusError
 	}

@@ -1,0 +1,232 @@
+package smmpatch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kshot/internal/kcrypto"
+	"kshot/internal/kernel"
+	"kshot/internal/machine"
+	"kshot/internal/mem"
+	"kshot/internal/patch"
+	"kshot/internal/smm"
+	"kshot/internal/timing"
+)
+
+// Derived-session mode (template-fork provisioning): the handler and
+// the enclave share a 32-byte channel root and derive per-package
+// session keys from (root, SMM nonce, enclave salt) instead of running
+// a DH exchange. These tests drive the handler the way sgxprep's
+// sealForSMM does in root mode.
+
+var testRoot = bytes.Repeat([]byte{0x42}, 32)
+
+// newRootRig is newRig with SessionRoot installed.
+func newRootRig(t *testing.T) *rig {
+	t.Helper()
+	st, err := kernel.BaseTree("4.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddFile("cve/gadget.asm", rigVuln)
+	preImg, preUnit, err := st.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := st.Clone()
+	if err := post.Apply(kernel.SourcePatch{ID: "RIG", Files: map[string]string{"cve/gadget.asm": rigFixed}}); err != nil {
+		t.Fatal(err)
+	}
+	postImg, postUnit, err := post.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{NumVCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	k, err := kernel.Boot(m, preImg, st.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := smm.NewController(m, kernel.SMRAMBase, &timing.Clock{}, timing.Calibrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Config{
+		Reserved:      k.Res,
+		KernelVersion: "4.4",
+		Rand:          &detRand{r: rand.New(rand.NewSource(7))},
+		SessionRoot:   testRoot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Trigger(CmdKeyExchange, 0); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{
+		m: m, k: k, ctrl: ctrl, h: h,
+		preImg:  patch.ImagePair{Img: preImg, Unit: preUnit},
+		postImg: patch.ImagePair{Img: postImg, Unit: postUnit},
+	}
+}
+
+// sealRootPackage plays the enclave's root-mode role: read the
+// published SMM nonce, draw a salt, derive the session key from the
+// shared root, encrypt, and stage salt + ciphertext.
+func (r *rig) sealRootPackage(t *testing.T, wire []byte) {
+	t.Helper()
+	nonce, err := ReadSMMPub(r.m.Mem, mem.PrivKernel, r.k.Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nonce) != 32 {
+		t.Fatalf("published nonce is %d bytes, want 32", len(nonce))
+	}
+	salt := make([]byte, 32)
+	rnd := &detRand{r: rand.New(rand.NewSource(11))}
+	if _, err := rnd.Read(salt); err != nil {
+		t.Fatal(err)
+	}
+	shared := kcrypto.DeriveKey(testRoot, nonce, salt)
+	sess, err := kcrypto.NewSession(shared, &detRand{r: rand.New(rand.NewSource(12))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sess.Encrypt(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := StageBlob(r.m.Mem, mem.PrivKernel, EnclavePubAddr(r.k.Res), salt); err != nil {
+		t.Fatal(err)
+	}
+	if err := StageBlob(r.m.Mem, mem.PrivKernel, PackageAddr(r.k.Res), ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionRootAppliesPatch(t *testing.T) {
+	r := newRootRig(t)
+	if v, err := r.k.Call(0, "gadget", 0xdead); err != nil || v != 99 {
+		t.Fatalf("pre-patch gadget = %d, %v", v, err)
+	}
+	r.sealRootPackage(t, r.wirePatch(t, "RIG-ROOT-1"))
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatalf("process: %v", err)
+	}
+	if v, err := r.k.Call(0, "gadget", 0xdead); err != nil || v != 0xdead+1 {
+		t.Fatalf("post-patch gadget = %d, %v", v, err)
+	}
+	// Root mode charges the same virtual key-generation cost as DH
+	// mode, so forked and cold-booted stage metrics stay identical.
+	bd := r.h.LastBreakdown()
+	if bd.KeyGen != timing.Calibrated().KeyGen {
+		t.Errorf("root-mode KeyGen charge = %v, want %v", bd.KeyGen, timing.Calibrated().KeyGen)
+	}
+}
+
+func TestSessionRootNonceRotates(t *testing.T) {
+	r := newRootRig(t)
+	n1, err := ReadSMMPub(r.m.Mem, mem.PrivKernel, r.k.Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sealRootPackage(t, r.wirePatch(t, "RIG-ROOT-1"))
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadSMMPub(r.m.Mem, mem.PrivKernel, r.k.Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(n1, n2) {
+		t.Fatal("SMM nonce did not rotate across the SMI")
+	}
+}
+
+func TestSessionRootReplayRejected(t *testing.T) {
+	r := newRootRig(t)
+	r.sealRootPackage(t, r.wirePatch(t, "RIG-ROOT-1"))
+
+	// Capture the staged salt + ciphertext.
+	lenBuf := make([]byte, 4)
+	if err := r.m.Mem.Read(mem.PrivSMM, PackageAddr(r.k.Res), lenBuf); err != nil {
+		t.Fatal(err)
+	}
+	n := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
+	captured := make([]byte, n)
+	if err := r.m.Mem.Read(mem.PrivSMM, PackageAddr(r.k.Res)+4, captured); err != nil {
+		t.Fatal(err)
+	}
+	capturedSalt := make([]byte, 36)
+	if err := r.m.Mem.Read(mem.PrivSMM, EnclavePubAddr(r.k.Res), capturedSalt); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Roll back so a successful replay would be visible.
+	rbWire, err := patch.MarshalRollback("RIG-ROOT-1", "4.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sealRootPackage(t, rbWire)
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the captured salt + ciphertext: the nonce rotated with
+	// the rekey, the derived key differs, and decryption fails.
+	if err := r.m.Mem.Write(mem.PrivKernel, EnclavePubAddr(r.k.Res), capturedSalt); err != nil {
+		t.Fatal(err)
+	}
+	if err := StageBlob(r.m.Mem, mem.PrivKernel, PackageAddr(r.k.Res), captured); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err == nil {
+		t.Fatal("replayed root-mode package accepted")
+	}
+	if v, _ := r.k.Call(0, "gadget", 0xdead); v != 99 {
+		t.Error("replay had an effect")
+	}
+}
+
+func TestSessionRootEmptySaltRejected(t *testing.T) {
+	r := newRootRig(t)
+	// Stage a package with a zero-length salt blob: session derivation
+	// must fail rather than derive from an empty peer contribution.
+	r.sealRootPackage(t, r.wirePatch(t, "RIG-ROOT-1"))
+	if err := StageBlob(r.m.Mem, mem.PrivKernel, EnclavePubAddr(r.k.Res), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.Trigger(CmdProcessPackage, 0); err == nil {
+		t.Fatal("empty-salt package accepted")
+	}
+}
+
+func TestSessionRootLengthValidated(t *testing.T) {
+	if _, err := New(Config{Reserved: mustReserved(t), KernelVersion: "4.4", SessionRoot: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("3-byte session root accepted")
+	}
+}
+
+// mustReserved maps a reserved window on a scratch Physical.
+func mustReserved(t *testing.T) *mem.Reserved {
+	t.Helper()
+	m := mem.New(1 << 28)
+	res, err := mem.MapReserved(m, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -156,11 +156,12 @@ type Handler struct {
 	textBase      uint64
 	textSize      uint64
 	attKey        []byte
+	sessionRoot   []byte
 	fi            *faultinject.Set
 	obs           *obs.Hooks
 
 	// SMRAM-resident state.
-	keypair  *kcrypto.KeyPair
+	key      *chanKey
 	journal  []appliedPatch
 	memXUsed uint64
 	dataUsed uint64
@@ -204,12 +205,37 @@ type Config struct {
 	// key is provisioned into SMRAM before lock (and shared with the
 	// server out of band). Nil disables authentication.
 	AttestationKey []byte
+
+	// SessionRoot, when 32 bytes, switches the SGX↔SMM channel into
+	// derived-session mode: instead of an ephemeral DH pair, the
+	// handler publishes a fresh random 32-byte nonce in mem_RW and the
+	// per-package transport key is HMAC(root, nonce, enclaveSalt). The
+	// root is provisioned into SMRAM before lock (template forking:
+	// the fork's core provisions the same root into the enclave), so
+	// the publish/consume anti-replay discipline — one credential per
+	// package, regenerated before leaving SMM — is unchanged, while
+	// the per-package modular exponentiations disappear. Nil keeps the
+	// paper's DH exchange.
+	SessionRoot []byte
+}
+
+// chanKey is the handler's published, unconsumed channel credential:
+// an ephemeral DH key pair in the paper's cold-boot mode, or a fresh
+// ratchet nonce in derived-session (template fork) mode. Exactly one
+// field is set; either way the credential is consumed by the next
+// package/batch SMI and regenerated on the way out.
+type chanKey struct {
+	kp    *kcrypto.KeyPair
+	nonce []byte
 }
 
 // New builds the handler.
 func New(cfg Config) (*Handler, error) {
 	if cfg.Reserved == nil {
 		return nil, errors.New("smmpatch: nil reserved region")
+	}
+	if len(cfg.SessionRoot) != 0 && len(cfg.SessionRoot) != 32 {
+		return nil, fmt.Errorf("smmpatch: session root must be 32 bytes, got %d", len(cfg.SessionRoot))
 	}
 	rng := cfg.Rand
 	if rng == nil {
@@ -223,6 +249,7 @@ func New(cfg Config) (*Handler, error) {
 		textBase:      cfg.TextBase,
 		textSize:      cfg.TextSize,
 		attKey:        append([]byte(nil), cfg.AttestationKey...),
+		sessionRoot:   append([]byte(nil), cfg.SessionRoot...),
 		place: patch.Placement{
 			MemXBase:      cfg.Reserved.XBase(),
 			MemXSize:      cfg.Reserved.X.Size,
@@ -337,13 +364,30 @@ func (h *Handler) handleKeyExchange(ctx *smm.Context, _ uint64) error {
 	return h.status(ctx, StatusKeyReady, nil)
 }
 
-// HasKey reports whether a published, unconsumed DH key is available.
-func (h *Handler) HasKey() bool { return h.keypair != nil }
+// HasKey reports whether a published, unconsumed channel credential
+// (DH key or ratchet nonce) is available.
+func (h *Handler) HasKey() bool { return h.key != nil }
 
-// rekey generates and publishes a fresh DH key pair (anti-replay: the
-// private key changes before every patch).
+// rekey generates and publishes a fresh channel credential
+// (anti-replay: it changes before every patch). In DH mode that is an
+// ephemeral key pair; in derived-session mode a fresh ratchet nonce.
+// Both modes charge the model's key-generation cost: the virtual time
+// models the paper's protocol step, so forked (derived-session) and
+// cold-booted (DH) targets report bit-identical stage metrics even
+// though the host-side arithmetic differs enormously.
 func (h *Handler) rekey(ctx *smm.Context) error {
 	ctx.Charge(ctx.Model().KeyGen, 0, 0)
+	if len(h.sessionRoot) != 0 {
+		nonce := make([]byte, 32)
+		if _, err := io.ReadFull(h.rng, nonce); err != nil {
+			return fmt.Errorf("smmpatch: nonce: %w", err)
+		}
+		if err := h.writeBlob(ctx, h.res.RWBase()+offSMMPub, nonce); err != nil {
+			return err
+		}
+		h.key = &chanKey{nonce: nonce}
+		return nil
+	}
 	kp, err := kcrypto.GenerateKeyPair(h.rng)
 	if err != nil {
 		return fmt.Errorf("smmpatch: keygen: %w", err)
@@ -351,7 +395,7 @@ func (h *Handler) rekey(ctx *smm.Context) error {
 	if err := h.writeBlob(ctx, h.res.RWBase()+offSMMPub, kp.PublicBytes()); err != nil {
 		return err
 	}
-	h.keypair = kp
+	h.key = &chanKey{kp: kp}
 	return nil
 }
 
@@ -360,20 +404,20 @@ func (h *Handler) rekey(ctx *smm.Context) error {
 func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 	h.lastBreakdown = Breakdown{KeyGen: ctx.Model().KeyGen}
 
-	// Derive the session key from the enclave's public key in mem_RW.
-	if h.keypair == nil {
+	// Derive the session key from the enclave's public blob in mem_RW.
+	if h.key == nil {
 		return h.fail(ctx, ErrNoSession)
 	}
-	session, err := h.deriveSession(ctx, h.keypair)
+	session, err := h.deriveSession(ctx, h.key)
 	if err != nil {
 		return h.fail(ctx, err)
 	}
-	// Single-use key: the pair is consumed whether or not the rest of
+	// Single-use credential: it is consumed whether or not the rest of
 	// the operation succeeds (replayed ciphertexts die here). A fresh
-	// pair is generated and published before leaving SMM — the paper's
+	// one is generated and published before leaving SMM — the paper's
 	// "dynamically changed before each kernel patch" — so steady-state
 	// patching needs no separate key-exchange SMI.
-	h.keypair = nil
+	h.key = nil
 	defer func() {
 		// A rekey failure only delays the next patch (the operator
 		// re-bootstraps with CmdKeyExchange); it must not mask the
@@ -417,22 +461,35 @@ func (h *Handler) handlePackage(ctx *smm.Context, _ uint64) error {
 	}
 }
 
-// deriveSession reads the enclave's public key from mem_RW and derives
-// the package transport session from the given SMM key pair.
-func (h *Handler) deriveSession(ctx *smm.Context, kp *kcrypto.KeyPair) (*kcrypto.Session, error) {
+// deriveSession reads the enclave's public blob (ephemeral DH key, or
+// ratchet salt in derived-session mode) from mem_RW and derives the
+// package transport session from the given channel credential.
+func (h *Handler) deriveSession(ctx *smm.Context, key *chanKey) (*kcrypto.Session, error) {
 	peerPub, err := h.readBlob(ctx, h.res.RWBase()+offEnclavePub, 4096)
 	if err != nil {
 		return nil, fmt.Errorf("smmpatch: read enclave key: %w", err)
 	}
-	return h.sessionFor(kp, peerPub)
+	return h.sessionFor(key, peerPub)
 }
 
-// sessionFor derives a transport session from an SMM key pair and a
-// peer (enclave ephemeral) public key blob.
-func (h *Handler) sessionFor(kp *kcrypto.KeyPair, peerPub []byte) (*kcrypto.Session, error) {
-	shared, err := kp.SharedSecret(peerPub)
-	if err != nil {
-		return nil, fmt.Errorf("smmpatch: key agreement: %w", err)
+// sessionFor derives a transport session from the channel credential
+// and a peer (enclave ephemeral) public blob. In DH mode the key is
+// SHA-256 of the shared group element; in derived-session mode it is
+// HMAC(root, smmNonce, enclaveSalt) — both sides contribute fresh
+// entropy per package, so the replay properties match.
+func (h *Handler) sessionFor(key *chanKey, peerPub []byte) (*kcrypto.Session, error) {
+	var shared []byte
+	if key.kp != nil {
+		var err error
+		shared, err = key.kp.SharedSecret(peerPub)
+		if err != nil {
+			return nil, fmt.Errorf("smmpatch: key agreement: %w", err)
+		}
+	} else {
+		if len(peerPub) == 0 {
+			return nil, fmt.Errorf("smmpatch: empty enclave salt")
+		}
+		shared = kcrypto.DeriveKey(h.sessionRoot, key.nonce, peerPub)
 	}
 	session, err := kcrypto.NewSession(shared, h.rng)
 	if err != nil {

@@ -333,6 +333,36 @@ func WithDialBackoff(d time.Duration) Option {
 	}
 }
 
+// TemplateCache provisions Systems by COW-forking one cached template
+// machine per kernel configuration instead of cold-booting every
+// target: the first System for a (version, ftrace, inline,
+// extra-files, dispatch, vCPUs) configuration pays the full boot, and
+// every later one forks its clean memory. Each fork is provisioned
+// with its own SMM attestation key, channel root, clock, and SMRAM
+// lock — nothing secret is shared. Share one cache across a fleet via
+// WithTemplateCache or SystemProvisioner's WithTemplateCache option.
+type TemplateCache = core.TemplateCache
+
+// TemplateCacheStats is a TemplateCache traffic snapshot.
+type TemplateCacheStats = core.TemplateCacheStats
+
+// NewTemplateCache builds an empty template cache. Close it when the
+// fleet is provisioned to release the cached template machines (live
+// forked Systems keep working).
+func NewTemplateCache() *TemplateCache { return core.NewTemplateCache() }
+
+// WithTemplateCache provisions the System by forking tc's cached
+// template for this configuration instead of cold-booting one.
+func WithTemplateCache(tc *TemplateCache) Option {
+	return func(o *Options) error {
+		if tc == nil {
+			return newErr("WithTemplateCache", "nil cache")
+		}
+		o.TemplateCache = tc
+		return nil
+	}
+}
+
 // ApplyOption tunes System.ApplyAll (batch size, fetch fan-out, retry
 // policy). Like every option in the package it validates eagerly:
 // ApplyAll rejects out-of-range tuning before starting the pipeline.
@@ -351,6 +381,14 @@ var (
 // down SMM, attests and loads the preparation enclave, and registers
 // with the patch server.
 func New(opts ...Option) (*System, error) {
+	return NewCtx(context.Background(), opts...)
+}
+
+// NewCtx is New with provisioning-time cancellation: ctx is checked
+// between boot stages (kernel build, machine boot, SMM provisioning,
+// server registration), so callers provisioning fleets can abandon
+// in-flight boots when the rollout is halted.
+func NewCtx(ctx context.Context, opts ...Option) (*System, error) {
 	var o Options
 	for _, opt := range opts {
 		if opt == nil {
@@ -360,7 +398,7 @@ func New(opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
-	return core.NewSystem(o)
+	return core.NewSystemCtx(ctx, o)
 }
 
 // NewSystem boots a system from an assembled Options struct.
@@ -558,10 +596,13 @@ func NewRollout(opts ...RolloutOption) (*Rollout, error) {
 
 // SystemProvisioner is the standard fleet provisioner: each target
 // boots a fresh simulated System dialed at the shared patch server,
-// with any extra New options applied after the address.
+// with any extra New options applied after the address. Provisioning
+// honors ctx — a halted rollout stops booting stragglers. Pass
+// WithTemplateCache(cache) in opts to fork targets from cached
+// templates instead of cold-booting each one.
 func SystemProvisioner(serverAddr string, opts ...Option) Provisioner {
 	return func(ctx context.Context, t RolloutTarget) (Patcher, error) {
-		sys, err := New(append([]Option{WithServerAddr(serverAddr)}, opts...)...)
+		sys, err := NewCtx(ctx, append([]Option{WithServerAddr(serverAddr)}, opts...)...)
 		if err != nil {
 			return nil, fmt.Errorf("provision %s: %w", t.ID, err)
 		}
