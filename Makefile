@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover api apicheck corpus corpussmoke
+.PHONY: all build vet test race short bench benchsmoke benchjson check fuzz cover api apicheck corpus corpussmoke adversary-smoke
 
 # Per-target budget for the fuzz smoke pass (see `fuzz` below).
 FUZZTIME ?= 30s
@@ -42,7 +42,7 @@ benchsmoke:
 # runs; see cmd/kshot-bench -json.
 BENCHJSON ?= bench.json
 benchjson:
-	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -rollout -provision -dispatch -iters 1 -o $(BENCHJSON) > /dev/null
+	$(GO) run ./cmd/kshot-bench -json -table2 -table3 -table5 -pipeline -fleet -rollout -provision -dispatch -detect -detect-trials 5 -detect-ops 5000 -iters 1 -o $(BENCHJSON) > /dev/null
 
 # Public API surface snapshot. `make api` regenerates api.txt from the
 # package's exported declarations; `make apicheck` fails when the
@@ -82,6 +82,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzForkMem -fuzztime=$(FUZZTIME) -run '^$$' ./internal/mem/
 	$(GO) test -fuzz=FuzzServerFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/patchserver/
 	$(GO) test -fuzz=FuzzCorpusCase -fuzztime=$(FUZZTIME) -run '^$$' ./internal/corpusgen/
+	$(GO) test -fuzz=FuzzEventChannel -fuzztime=$(FUZZTIME) -run '^$$' ./internal/introspect/
 
 # Generated-corpus differential verification. `corpussmoke` is the CI
 # gate: a fixed-seed 64-case sweep under -race. `corpus` is the full
@@ -91,5 +92,12 @@ corpussmoke:
 
 corpus:
 	$(GO) run ./cmd/kshot-corpus verify -seed 0xC0DE -count 256 -e2e -1
+
+# Adversary simulation smoke: the three seeded attacker archetypes
+# plus a fixed-seed subset of the campaign, under -race. The full
+# 200-seed campaign ("attacker never wins silently") runs in `test`;
+# reproduce any campaign failure with KSHOT_ADV_SEED=<seed>.
+adversary-smoke:
+	$(GO) test -race -short -run 'TestReinfectDetected|TestReplayDetected|TestGroomDetected|TestAdversaryCampaign' ./internal/adversary/
 
 check: build vet test

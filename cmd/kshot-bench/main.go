@@ -38,23 +38,26 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("kshot-bench", flag.ContinueOnError)
 	var (
-		all      = fs.Bool("all", false, "run every experiment")
-		table1   = fs.Bool("table1", false, "Table I: benchmark suite")
-		table2   = fs.Bool("table2", false, "Table II: SGX breakdown by size")
-		table3   = fs.Bool("table3", false, "Table III: SMM breakdown by size")
-		fig4     = fs.Bool("fig4", false, "Figure 4: SGX time per CVE")
-		fig5     = fs.Bool("fig5", false, "Figure 5: SMM time per CVE")
-		table4   = fs.Bool("table4", false, "Table IV: general comparison")
-		table5   = fs.Bool("table5", false, "Table V: kernel patching comparison")
-		rq1      = fs.Bool("rq1", false, "RQ1: patch all 30 CVEs")
-		pipeline = fs.Bool("pipeline", false, "pipelined ApplyAll vs serial Apply")
-		overhead = fs.Bool("overhead", false, "whole-system overhead")
-		trace    = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
+		all       = fs.Bool("all", false, "run every experiment")
+		table1    = fs.Bool("table1", false, "Table I: benchmark suite")
+		table2    = fs.Bool("table2", false, "Table II: SGX breakdown by size")
+		table3    = fs.Bool("table3", false, "Table III: SMM breakdown by size")
+		fig4      = fs.Bool("fig4", false, "Figure 4: SGX time per CVE")
+		fig5      = fs.Bool("fig5", false, "Figure 5: SMM time per CVE")
+		table4    = fs.Bool("table4", false, "Table IV: general comparison")
+		table5    = fs.Bool("table5", false, "Table V: kernel patching comparison")
+		rq1       = fs.Bool("rq1", false, "RQ1: patch all 30 CVEs")
+		pipeline  = fs.Bool("pipeline", false, "pipelined ApplyAll vs serial Apply")
+		overhead  = fs.Bool("overhead", false, "whole-system overhead")
+		trace     = fs.Bool("trace", false, "per-CVE phase breakdown with metrics and event trace")
 		fleet     = fs.Bool("fleet", false, "fleet distribution: cold vs warm build-cache delivery")
 		rollout   = fs.Bool("rollout", false, "fleet rollout: staged canary waves across simulated targets")
 		provision = fs.Bool("provision", false, "provisioning throughput: cold boot vs template fork")
 		dispatch  = fs.Bool("dispatch", false, "execution-engine comparison: oracle interpreter vs predecoded blocks")
 		dispops   = fs.Uint64("dispatch-ops", 2000, "workload operations per engine for -dispatch")
+		detect    = fs.Bool("detect", false, "introspection: tamper-detection latency vs sweep period, plus overhead")
+		dettrials = fs.Int("detect-trials", 20, "tamper injections per sweep period for -detect")
+		detops    = fs.Uint64("detect-ops", 20000, "workload operations for the -detect overhead columns")
 		clients   = fs.Int("clients", 16, "fleet size for -fleet")
 		targets   = fs.Int("targets", 500, "fleet size for -rollout")
 		domains   = fs.Int("domains", 4, "failure domains for -rollout")
@@ -62,14 +65,14 @@ func run(args []string, stdout io.Writer) error {
 		rollcold  = fs.Bool("rollout-cold", false, "cold-boot every -rollout target instead of template-forking")
 		provcold  = fs.Int("prov-cold", 5, "cold boots to average for -provision")
 		provforks = fs.Int("prov-forks", 200, "template forks to average for -provision")
-		iters    = fs.Int("iters", 3, "repetitions per measurement")
-		patches  = fs.Int("patches", 100, "patch storm size for -overhead")
-		batch    = fs.Int("batch", 8, "batch size for -pipeline")
-		workers  = fs.Int("workers", 4, "fetch workers for -pipeline")
-		version  = fs.String("version", "4.4", "kernel version for -rq1/-pipeline")
-		outFile  = fs.String("o", "", "also write output to this file")
-		csv      = fs.Bool("csv", false, "emit figures as CSV instead of ASCII bars")
-		jsonOut  = fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
+		iters     = fs.Int("iters", 3, "repetitions per measurement")
+		patches   = fs.Int("patches", 100, "patch storm size for -overhead")
+		batch     = fs.Int("batch", 8, "batch size for -pipeline")
+		workers   = fs.Int("workers", 4, "fetch workers for -pipeline")
+		version   = fs.String("version", "4.4", "kernel version for -rq1/-pipeline")
+		outFile   = fs.String("o", "", "also write output to this file")
+		csv       = fs.Bool("csv", false, "emit figures as CSV instead of ASCII bars")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,10 +88,10 @@ func run(args []string, stdout io.Writer) error {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet || *rollout || *provision || *dispatch
+	selected := *table1 || *table2 || *table3 || *fig4 || *fig5 || *table4 || *table5 || *rq1 || *pipeline || *overhead || *trace || *fleet || *rollout || *provision || *dispatch || *detect
 	if *all || !selected {
-		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet, *rollout, *provision, *dispatch =
-			true, true, true, true, true, true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig4, *fig5, *table4, *table5, *rq1, *pipeline, *overhead, *trace, *fleet, *rollout, *provision, *dispatch, *detect =
+			true, true, true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	// In JSON mode, data-bearing experiments accumulate here and are
@@ -334,6 +337,27 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(out, "  oracle (decode-switch): %.0f ops/s (wall %v)\n", dr.Oracle.OpsPerSec, dr.Oracle.Wall)
 			fmt.Fprintf(out, "  blocks (predecoded):    %.0f ops/s (wall %v)\n", dr.Blocks.OpsPerSec, dr.Blocks.Wall)
 			fmt.Fprintf(out, "  speedup: %.1fx; virtual stage metrics bit-identical across engines\n", dr.Speedup)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *detect {
+		progress("running tamper-detection latency (%d injections per sweep period)...\n", *dettrials)
+		dr, err := evalharness.RunDetectionBench(*dettrials, nil, *detops)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			results["detection"] = dr
+		} else {
+			fmt.Fprintf(out, "Introspection detection latency (%s, %d tamper injections per period):\n",
+				dr.CVE, *dettrials)
+			fmt.Fprintf(out, "  %-10s %12s %12s %12s %8s\n", "period", "p50", "p99", "mean", "sweeps")
+			for _, p := range dr.Periods {
+				fmt.Fprintf(out, "  %-10v %12v %12v %12v %8d\n", p.Period, p.P50, p.P99, p.Mean, p.Sweeps)
+			}
+			fmt.Fprintf(out, "  workload (%d ops): %.0f ops/s off, %.0f ops/s sweeping; overhead %.1f%%\n",
+				dr.WorkloadOps, dr.BaselineOpsPerSec, dr.EnabledOpsPerSec, dr.OverheadPct)
 			fmt.Fprintln(out)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/introspect"
 	"kshot/internal/obs"
 	"kshot/internal/patchserver"
 	"kshot/internal/report"
@@ -45,6 +46,7 @@ func run(args []string) error {
 	standalone := fs.Bool("standalone", false, "start an in-process patch server")
 	template := fs.Bool("template", false, "provision by COW-forking a booted template instead of a cold boot")
 	obsAddr := fs.String("obs", "", "serve /metrics and /trace on this address while patching")
+	introPeriod := fs.Duration("introspect", 0, "enable event-driven introspection, sweeping kernel text at this period (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +96,9 @@ func run(args []string) error {
 		Version:    *version,
 		ExtraFiles: extra,
 		ServerAddr: addr,
+	}
+	if *introPeriod > 0 {
+		sysOpts.Introspection = &introspect.Config{SweepEvery: *introPeriod}
 	}
 	if *template {
 		cache := core.NewTemplateCache()
@@ -177,6 +182,13 @@ func run(args []string) error {
 
 	fmt.Printf("\napplied patches: %v\n", sys.Applied())
 	fmt.Printf("total SMIs: %d, virtual time elapsed: %v\n", sys.SMM.Entries(), sys.Clock.Now())
+	if det := sys.Introspection(); det != nil {
+		st := det.Stats()
+		fmt.Printf("introspection: %d sweeps, %d detections\n", st.Sweeps, st.Detections)
+		for _, v := range det.Verdicts() {
+			fmt.Printf("  verdict: %s %s\n", v.Kind, v.Detail)
+		}
+	}
 	if hooks != nil {
 		fmt.Println("\nobservability summary:")
 		if err := hooks.Metrics.Snapshot().RenderText(os.Stdout); err != nil {

@@ -1,0 +1,153 @@
+package adversary
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"kshot/internal/introspect"
+)
+
+// sharedSim lazily boots the one template-backed fixture every test
+// in the package forks from.
+var sharedSim *Sim
+
+func getSim(t *testing.T) *Sim {
+	t.Helper()
+	if sharedSim == nil {
+		s, err := NewSim("4.4")
+		if err != nil {
+			t.Fatalf("NewSim: %v", err)
+		}
+		sharedSim = s
+	}
+	return sharedSim
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if sharedSim != nil {
+		sharedSim.Close()
+	}
+	os.Exit(code)
+}
+
+// runPlan executes one plan and applies the invariants every run must
+// hold regardless of archetype.
+func runPlan(t *testing.T, plan Plan) *Outcome {
+	t.Helper()
+	out, err := getSim(t).Run(context.Background(), plan)
+	if err != nil {
+		t.Fatalf("seed %#x (%s): Run: %v", plan.Seed, plan.Kind, err)
+	}
+	if out.ApplyErr != nil {
+		t.Errorf("seed %#x (%s): rollout error: %v", plan.Seed, plan.Kind, out.ApplyErr)
+	}
+	if out.CleanupErr != nil {
+		t.Errorf("seed %#x (%s): cleanup error: %v", plan.Seed, plan.Kind, out.CleanupErr)
+	}
+	if !out.TextClean {
+		t.Errorf("seed %#x (%s): kernel text not pristine after rollback", plan.Seed, plan.Kind)
+	}
+	if out.SilentWin() {
+		t.Errorf("seed %#x (%s): SILENT WIN — struck=%d starved=%v verdicts=%v",
+			plan.Seed, plan.Kind, out.Struck, out.Starved, out.Verdicts)
+	}
+	return out
+}
+
+// planFor derives, by scanning seeds upward from base, the first plan
+// of the wanted kind — keeping the focused tests on the same
+// seed-only reproduction path as the campaign.
+func planFor(t *testing.T, kind Kind, base uint64) Plan {
+	t.Helper()
+	for seed := base; seed < base+64; seed++ {
+		if p := NewPlan(seed); p.Kind == kind {
+			return p
+		}
+	}
+	t.Fatalf("no %s plan within 64 seeds of %#x", kind, base)
+	return Plan{}
+}
+
+func TestReinfectDetected(t *testing.T) {
+	out := runPlan(t, planFor(t, Reinfect, 1))
+	if out.Struck == 0 {
+		t.Fatal("reinfect attacker never struck")
+	}
+	if !out.Detected(introspect.TamperDetected) {
+		t.Fatalf("no TamperDetected verdict; got %v", out.Verdicts)
+	}
+	for _, v := range out.Verdicts {
+		if v.Kind == introspect.TamperDetected && v.Latency < 0 {
+			t.Errorf("negative detection latency %v", v.Latency)
+		}
+	}
+	if len(out.Applied) != len(SimCVEs) {
+		t.Errorf("applied %v, want all of %v", out.Applied, SimCVEs)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	out := runPlan(t, planFor(t, Replay, 1))
+	if out.Struck == 0 {
+		t.Fatal("replay attacker never struck")
+	}
+	if !out.Detected(introspect.StalePatchReplay) {
+		t.Fatalf("no StalePatchReplay verdict; got %v", out.Verdicts)
+	}
+	if len(out.Applied) != len(SimCVEs) {
+		t.Errorf("applied %v, want all of %v", out.Applied, SimCVEs)
+	}
+}
+
+func TestGroomDetected(t *testing.T) {
+	out := runPlan(t, planFor(t, Groom, 1))
+	if !out.Starved {
+		t.Fatal("groom attacker never starved the rollout")
+	}
+	if !out.Detected(introspect.ActivenessGroomed) {
+		t.Fatalf("no ActivenessGroomed verdict; got %v", out.Verdicts)
+	}
+	if len(out.Applied) != 1 {
+		t.Errorf("applied %v, want the spin gadget patch to land after release", out.Applied)
+	}
+}
+
+// TestAdversaryCampaign is chaos invariant 5: across a seeded attack
+// campaign, the attacker never wins silently and the system always
+// rolls back to pristine text. Any failure reproduces from the seed
+// alone: set KSHOT_ADV_SEED to rerun exactly one seed.
+func TestAdversaryCampaign(t *testing.T) {
+	if env := os.Getenv("KSHOT_ADV_SEED"); env != "" {
+		seed, err := strconv.ParseUint(env, 0, 64)
+		if err != nil {
+			t.Fatalf("KSHOT_ADV_SEED: %v", err)
+		}
+		runPlan(t, NewPlan(seed))
+		return
+	}
+	seeds := 200
+	if testing.Short() {
+		seeds = 24
+	}
+	kinds := make(map[Kind]int)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		plan := NewPlan(seed)
+		kinds[plan.Kind]++
+		runPlan(t, plan)
+		if t.Failed() && kinds[Reinfect]+kinds[Replay]+kinds[Groom] > 8 {
+			t.Fatal("aborting campaign after early failures")
+		}
+	}
+	// The splitmix64 schedule must actually exercise all three
+	// archetypes, or the invariant is vacuous for the missing kind.
+	for _, k := range []Kind{Reinfect, Replay, Groom} {
+		if kinds[k] == 0 {
+			t.Errorf("campaign never drew a %s attacker", k)
+		}
+	}
+	t.Logf("campaign: %d seeds — %d reinfect, %d replay, %d groom",
+		seeds, kinds[Reinfect], kinds[Replay], kinds[Groom])
+}

@@ -325,9 +325,16 @@ func (b *batchBackend) DeliverBatch(ctx context.Context, members []*pipeline.Mem
 		return fmt.Errorf("core: stage batch: %w", err)
 	}
 
-	// Stage 4: one SMI for the whole batch.
-	if err := s.SMM.Trigger(smmpatch.CmdProcessBatch, 0); err != nil {
-		return fmt.Errorf("core: SMM batch processing: %w", err)
+	// Stage 4: one SMI for the whole batch, announced to the detector
+	// like the single-package path so replays stay distinguishable.
+	s.det.ExpectSMI(uint8(smmpatch.CmdProcessBatch))
+	s.det.BeginTrustedWindow()
+	batchErr := s.SMM.Trigger(smmpatch.CmdProcessBatch, 0)
+	// Closing the window rebaselines atomically: a background sweep
+	// can never diff this SMI's text changes against the old baseline.
+	s.det.EndTrustedWindow()
+	if batchErr != nil {
+		return fmt.Errorf("core: SMM batch processing: %w", batchErr)
 	}
 	codes, err := smmpatch.ReadBatchResults(s.Machine.Mem, s.helperPriv, s.Kernel.Res)
 	if err != nil {
@@ -352,13 +359,14 @@ func (b *batchBackend) DeliverBatch(ctx context.Context, members []*pipeline.Mem
 			m.Err = nil
 			s.obs.ObserveDur(obs.HistDowntime,
 				m.Stages.KeyGen+m.Stages.Decrypt+m.Stages.Verify+m.Stages.Apply+m.Stages.Switch)
+			s.det.NoteApplied(m.CVE)
 		case smmpatch.StatusTargetActive:
 			m.Err = fmt.Errorf("core: %s: %w", m.CVE, smmpatch.ErrTargetActive)
+			s.det.NoteActiveRefusal(m.CVE)
 		default:
 			m.Err = fmt.Errorf("core: %s: batch member status %d", m.CVE, codes[j])
 		}
 	}
-
 	// Confirm the batch SMI through the status mailbox and report to
 	// the server with its MAC, same as single deliveries.
 	status, err := smmpatch.ReadStatusRecord(s.Machine.Mem, s.helperPriv, s.Kernel.Res)

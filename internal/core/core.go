@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"kshot/internal/faultinject"
+	"kshot/internal/introspect"
 	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
@@ -105,6 +106,16 @@ type Options struct {
 	// (version, ftrace, inline, extra-files, dispatch, vCPUs) config
 	// pays the full boot; every subsequent one is a fork.
 	TemplateCache *TemplateCache
+
+	// Introspection, when non-nil, enables the event-driven
+	// kernel-text integrity layer: memory/execution/SMM hooks feed a
+	// bounded event channel, and a Detector sweeps kernel.text against
+	// the last-known-good snapshot, classifying tampering, stale-patch
+	// replays, and activeness grooming into typed verdicts (see
+	// internal/introspect). Nil — the default — leaves every hook
+	// unset, so the disabled cost is one predictable branch on the
+	// already-rare paths that could matter.
+	Introspection *introspect.Config
 }
 
 // StageTimes reports the virtual time each pipeline stage consumed for
@@ -172,6 +183,14 @@ type System struct {
 	fi   *faultinject.Set
 	wall timing.WallClock
 	obs  *obs.Hooks
+
+	// intr/det are the introspection event channel and kernel-text
+	// detector, nil unless EnableIntrospection ran. The pipeline
+	// announces patch SMIs to det (ExpectSMI) and rebaselines it after
+	// every successful text change, so the detector's last-known-good
+	// snapshot tracks the text KShot itself produced.
+	intr *introspect.Channel
+	det  *introspect.Detector
 }
 
 // Validate checks the assembled options for values no deployment can
@@ -204,6 +223,17 @@ func (o *Options) Validate() error {
 	if o.RetryBackoff < 0 {
 		return bad("WithDialBackoff", "must be >= 0, got %v", o.RetryBackoff)
 	}
+	if o.Introspection != nil {
+		if o.Introspection.Capacity < 0 {
+			return bad("WithIntrospection", "capacity must be >= 0, got %d", o.Introspection.Capacity)
+		}
+		if o.Introspection.SweepEvery < 0 {
+			return bad("WithIntrospection", "sweep period must be >= 0, got %v", o.Introspection.SweepEvery)
+		}
+		if o.Introspection.GroomThreshold < 0 {
+			return bad("WithIntrospection", "groom threshold must be >= 0, got %d", o.Introspection.GroomThreshold)
+		}
+	}
 	return nil
 }
 
@@ -224,17 +254,30 @@ func NewSystemCtx(ctx context.Context, opts Options) (*System, error) {
 		return nil, err
 	}
 	opts = withDefaults(opts)
+	var s *System
 	if opts.TemplateCache != nil {
-		return opts.TemplateCache.System(ctx, opts)
+		var err error
+		if s, err = opts.TemplateCache.System(ctx, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		m, k, info, err := bootTarget(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		if s, err = provisionCold(ctx, opts, m, k, info); err != nil {
+			m.Stop()
+			return nil, err
+		}
 	}
-	m, k, info, err := bootTarget(ctx, opts)
-	if err != nil {
-		return nil, err
-	}
-	s, err := provisionCold(ctx, opts, m, k, info)
-	if err != nil {
-		m.Stop()
-		return nil, err
+	// Introspection wiring is per-System (a fork never inherits its
+	// template's hooks), so it lands here — the common tail of both
+	// provisioning paths.
+	if opts.Introspection != nil {
+		if err := s.EnableIntrospection(*opts.Introspection); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -527,6 +570,8 @@ func (s *System) SetObserver(ob *obs.Hooks) {
 	s.obs = ob
 	s.SMM.SetObserver(ob)
 	s.Handler.SetObserver(ob)
+	s.intr.SetObserver(ob)
+	s.det.SetObserver(ob)
 	if s.platform != nil {
 		s.platform.SetObserver(ob)
 	}
@@ -549,6 +594,48 @@ func (s *System) wireFaultObserver() {
 		ob.Count(obs.FaultPrefix+string(pt), 1)
 	})
 }
+
+// EnableIntrospection wires the event-driven integrity layer into this
+// System: the memory, execution, and SMM hooks feed a bounded event
+// channel, and a Detector baselines kernel.text now and classifies
+// later changes into typed verdicts. NewSystemCtx calls it when
+// Options.Introspection is set; tests and the adversary harness may
+// also call it directly on an already-provisioned System. Enabling
+// twice is an error (the baseline would silently move).
+func (s *System) EnableIntrospection(cfg introspect.Config) error {
+	if s.det != nil {
+		return fmt.Errorf("core: introspection already enabled")
+	}
+	ch := introspect.NewChannel(cfg.Capacity, s.wall)
+	ch.Arm(cfg.ArmSteps)
+	det, err := introspect.NewDetector(ch, s.Machine.Mem, kernel.TextBase, kernel.TextRegionSize, introspect.DetectorConfig{
+		PatchCmds:      []uint8{uint8(smmpatch.CmdProcessPackage), uint8(smmpatch.CmdProcessBatch)},
+		GroomThreshold: cfg.GroomThreshold,
+		Wall:           s.wall,
+	})
+	if err != nil {
+		return err
+	}
+	s.intr, s.det = ch, det
+	ch.SetObserver(s.obs)
+	det.SetObserver(s.obs)
+	s.Machine.Mem.SetIntrospector(ch)
+	s.Machine.SetIntrospect(ch)
+	s.SMM.SetIntrospector(ch)
+	if cfg.SweepEvery > 0 {
+		det.Start(cfg.SweepEvery)
+	}
+	return nil
+}
+
+// Introspection returns the kernel-text detector, or nil when
+// introspection is not enabled. All Detector methods are nil-safe, so
+// callers may use the result unconditionally.
+func (s *System) Introspection() *introspect.Detector { return s.det }
+
+// IntrospectionEvents returns the introspection event channel, or nil
+// when introspection is not enabled.
+func (s *System) IntrospectionEvents() *introspect.Channel { return s.intr }
 
 // SetWallClock replaces the clock pacing real-time waits (nil restores
 // real time). Tests inject timing.FakeWall so retry backoff and
@@ -620,6 +707,7 @@ func (s *System) reloadEnclave() error {
 
 // Close releases the system's resources.
 func (s *System) Close() {
+	s.det.Stop()
 	if s.enclave != nil {
 		s.enclave.Destroy()
 	}
@@ -739,8 +827,15 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 		return nil, fmt.Errorf("core: stage package: %w", err)
 	}
 
-	// Stage 4: SMI — the only part that pauses the OS.
+	// Stage 4: SMI — the only part that pauses the OS. The pipeline
+	// announces its own patch SMIs to the detector; one this trusted
+	// path did not announce is a replayed artifact.
+	s.det.ExpectSMI(uint8(smmpatch.CmdProcessPackage))
+	s.det.BeginTrustedWindow()
 	smiErr := s.SMM.Trigger(smmpatch.CmdProcessPackage, 0)
+	// Closing the window rebaselines atomically: a background sweep
+	// can never diff this SMI's text changes against the old baseline.
+	s.det.EndTrustedWindow()
 	bd := s.Handler.LastBreakdown()
 	st.KeyGen = bd.KeyGen
 	st.Decrypt = bd.Decrypt
@@ -748,6 +843,9 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 	st.Apply = bd.Apply
 	st.Switch = s.Model.SMMEntry + s.Model.SMMExit
 	if smiErr != nil {
+		if errors.Is(smiErr, smmpatch.ErrTargetActive) {
+			s.det.NoteActiveRefusal(cve)
+		}
 		return nil, fmt.Errorf("core: SMM processing: %w", smiErr)
 	}
 
@@ -766,6 +864,7 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 	if wantStatus == smmpatch.StatusPatched {
 		s.obs.ObserveDur(obs.HistDowntime, st.KeyGen+st.Decrypt+st.Verify+st.Apply+st.Switch)
 	}
+	s.det.NoteApplied(cve)
 	return &Report{ID: cve, Stages: *st}, nil
 }
 
@@ -774,7 +873,13 @@ func (s *System) deliver(cve string, res *sgxprep.Result, st *StageTimes, wantSt
 // found during this run.
 func (s *System) Protect() (bool, error) {
 	before := s.Handler.TamperEvents()
-	if err := s.SMM.Trigger(smmpatch.CmdIntrospect, 0); err != nil {
+	// The repair may rewrite trampolines; the trusted window defers
+	// concurrent sweeps' frame diff and rebaselines on the repaired
+	// text when it closes.
+	s.det.BeginTrustedWindow()
+	err := s.SMM.Trigger(smmpatch.CmdIntrospect, 0)
+	s.det.EndTrustedWindow()
+	if err != nil {
 		return false, err
 	}
 	return s.Handler.TamperEvents() > before, nil

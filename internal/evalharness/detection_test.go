@@ -1,0 +1,39 @@
+package evalharness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDetectionBenchSmoke runs the detection-latency experiment with
+// tiny parameters: every injected tamper must be detected, latencies
+// must be positive and ordered sanely against the sweep period, and
+// the workload throughput columns must be populated.
+func TestDetectionBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots several systems")
+	}
+	res, err := RunDetectionBench(4, []time.Duration{500 * time.Microsecond, 2 * time.Millisecond}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CVE == "" || len(res.Periods) != 2 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, p := range res.Periods {
+		if p.Trials != 4 {
+			t.Errorf("period %v: trials = %d, want 4", p.Period, p.Trials)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 || p.Mean <= 0 {
+			t.Errorf("period %v: degenerate latency distribution p50=%v p99=%v mean=%v",
+				p.Period, p.P50, p.P99, p.Mean)
+		}
+		if p.Sweeps == 0 {
+			t.Errorf("period %v: no background sweeps recorded", p.Period)
+		}
+	}
+	if res.BaselineOpsPerSec <= 0 || res.EnabledOpsPerSec <= 0 {
+		t.Errorf("workload columns empty: baseline=%f enabled=%f",
+			res.BaselineOpsPerSec, res.EnabledOpsPerSec)
+	}
+}

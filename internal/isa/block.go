@@ -113,6 +113,12 @@ type Engine struct {
 	epoch  uint64
 
 	stats EngineStats
+
+	// intr, when non-nil, receives cache-flush events and (while
+	// armed) per-unit step events; cpuID attributes them to the owning
+	// vCPU. Set only while the vCPU is quiescent.
+	intr  IntrospectSink
+	cpuID int
 }
 
 // NewEngine creates a block-dispatch engine over the CPU.
@@ -122,6 +128,15 @@ func NewEngine(c *CPU) *Engine {
 
 // Stats returns the cache counters.
 func (e *Engine) Stats() EngineStats { return e.stats }
+
+// SetIntrospect installs (or, with nil, removes) the introspection
+// sink, attributing events to vCPU cpu. Call only while the owning
+// vCPU is quiescent (e.g. with the machine paused); the engine itself
+// is single-goroutine.
+func (e *Engine) SetIntrospect(s IntrospectSink, cpu int) {
+	e.intr = s
+	e.cpuID = cpu
+}
 
 // Flush discards every cached block. RunUnit flushes automatically on
 // code-epoch mismatch; Flush exists for callers that change what the
@@ -134,6 +149,9 @@ func (e *Engine) flush(epoch uint64) {
 	e.blocks = make(map[uint64]*Block)
 	e.epoch = epoch
 	e.stats.Flushes++
+	if e.intr != nil {
+		e.intr.OnCacheFlush(e.cpuID, epoch)
+	}
 }
 
 // RunUnit executes one dispatch unit — one basic block, or one oracle
@@ -143,6 +161,17 @@ func (e *Engine) flush(epoch uint64) {
 // Callers must hold the CPU quiescent for the duration (the machine
 // brackets each unit between SMI pause points).
 func (e *Engine) RunUnit(budget int) (int, error) {
+	n, err := e.runUnit(budget)
+	// Per-unit step events are sev-step-style single-stepping at
+	// dispatch-unit granularity; the armed check keeps the disarmed
+	// cost to one predictable branch per unit.
+	if s := e.intr; s != nil && s.StepArmed() {
+		s.OnStep(e.cpuID, e.C.RIP, n)
+	}
+	return n, err
+}
+
+func (e *Engine) runUnit(budget int) (int, error) {
 	c := e.C
 	if ep := c.M.CodeEpoch(); ep != e.epoch {
 		e.flush(ep)

@@ -166,6 +166,24 @@ func (m *Machine) Stop() {
 	}
 }
 
+// SetIntrospect installs (or, with nil, removes) the execution-layer
+// introspection sink on every vCPU that runs through the block engine
+// (blocks and lockstep dispatch; the pure oracle has no cache to
+// observe and no unit-level hook). The machine is paused for the
+// handoff so engines only ever see the sink change at a unit boundary.
+func (m *Machine) SetIntrospect(sink isa.IntrospectSink) {
+	m.gate.pause()
+	defer m.gate.resume()
+	for _, v := range m.vcpus {
+		switch r := v.runner.(type) {
+		case *isa.Engine:
+			r.SetIntrospect(sink, v.ID)
+		case *isa.Lockstep:
+			r.Engine().SetIntrospect(sink, v.ID)
+		}
+	}
+}
+
 // Pause halts every vCPU at an instruction boundary and returns once
 // all of them are quiescent. It is what an SMI does to the host.
 func (m *Machine) Pause() { m.gate.pause() }

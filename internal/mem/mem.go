@@ -265,6 +265,12 @@ type Physical struct {
 	// "re-decode", which is the entire invalidation protocol.
 	codeGen atomic.Uint64
 
+	// intr, when non-nil, receives code-integrity events (writes into
+	// executable memory, unattributed code-epoch bumps) for the
+	// introspection layer. Published like fi so the disabled path costs
+	// one pointer load on the already-rare exec-write branch.
+	intr atomic.Pointer[introspectHook]
+
 	// origin, when non-nil, is the Physical this one was forked from
 	// (see fork.go). It widens snapshot ownership: a fork accepts
 	// snapshots taken of any ancestor, so isolation checks can diff a
@@ -404,7 +410,10 @@ func (m *Physical) SetPerms(name string, ps Perms) error {
 		return fmt.Errorf("set perms %q: no such region", name)
 	}
 	r.perms.Store(ps.pack())
-	m.codeGen.Add(1)
+	ep := m.codeGen.Add(1)
+	if h := m.intr.Load(); h != nil {
+		h.sink.OnCodeEpoch(ep)
+	}
 	return nil
 }
 
@@ -412,6 +421,38 @@ func (m *Physical) SetPerms(name string, ps Perms) error {
 // injection set consulted on helper writes into mem_W.
 func (m *Physical) SetFaultInjector(fi *faultinject.Set) {
 	m.fi.Store(fi)
+}
+
+// Introspector receives code-integrity events from the memory layer.
+// mem deliberately does not import the introspect package (introspect
+// imports mem for its frame-diff sweeps); introspect.Channel satisfies
+// this interface and core wires it in.
+type Introspector interface {
+	// OnExecWrite fires after a write (or zero) lands in executable
+	// memory; epoch is the code epoch the write bumped to.
+	OnExecWrite(addr uint64, n int, epoch uint64)
+
+	// OnCodeEpoch fires after the code epoch moves without byte
+	// attribution (SetPerms, snapshot Restore).
+	OnCodeEpoch(epoch uint64)
+}
+
+// introspectHook boxes the interface so it can live in an
+// atomic.Pointer — the same publication pattern as the fault set, so
+// installing or removing an introspector never takes a lock the access
+// fast path would notice.
+type introspectHook struct{ sink Introspector }
+
+// SetIntrospector installs (or, with nil, removes) the introspection
+// sink. The disabled-path cost is one atomic pointer load on the
+// already-rare executable-write branch and on mapping changes; data
+// reads and writes never see it.
+func (m *Physical) SetIntrospector(i Introspector) {
+	if i == nil {
+		m.intr.Store(nil)
+		return
+	}
+	m.intr.Store(&introspectHook{sink: i})
 }
 
 // validateSpan checks that every byte of [addr, addr+n) is mapped with
@@ -485,7 +526,10 @@ func (m *Physical) access(priv Priv, kind Access, addr uint64, dst, src []byte) 
 	} else {
 		m.writeFrames(addr, src)
 		if m.spanExecutable(tab, r, addr, n) {
-			m.codeGen.Add(1)
+			ep := m.codeGen.Add(1)
+			if h := m.intr.Load(); h != nil {
+				h.sink.OnExecWrite(addr, int(n), ep)
+			}
 		}
 	}
 	return nil
@@ -595,7 +639,10 @@ func (m *Physical) Zero(priv Priv, addr, n uint64) error {
 	}
 	m.zeroFrames(addr, n)
 	if m.spanExecutable(tab, r, addr, n) {
-		m.codeGen.Add(1)
+		ep := m.codeGen.Add(1)
+		if h := m.intr.Load(); h != nil {
+			h.sink.OnExecWrite(addr, int(n), ep)
+		}
 	}
 	return nil
 }

@@ -273,7 +273,10 @@ func (m *Physical) Restore(s *Snapshot) error {
 	m.unlockMask(^uint64(0), true)
 	// Restoring swaps frame contents without going through access(), so
 	// any cached code translation may now be stale.
-	m.codeGen.Add(1)
+	ep := m.codeGen.Add(1)
+	if h := m.intr.Load(); h != nil {
+		h.sink.OnCodeEpoch(ep)
+	}
 	return nil
 }
 

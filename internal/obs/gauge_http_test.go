@@ -1,0 +1,175 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kshot/internal/mem"
+	"kshot/internal/obs"
+	"kshot/internal/timing"
+)
+
+// scrape GETs path from the Hooks debug mux and returns the body.
+func scrape(t *testing.T, h *obs.Hooks, path string) string {
+	t.Helper()
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET %s: content type %q", path, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestGaugeFuncMetricsRendering is table-driven over gauge
+// registration shapes: snapshot-time evaluation, replacement under
+// the same name, nil-function rejection, and deterministic sorted
+// rendering on the /metrics endpoint.
+func TestGaugeFuncMetricsRendering(t *testing.T) {
+	cases := []struct {
+		name     string
+		register func(h *obs.Hooks, v *int64)
+		want     []string // exact lines that must appear
+		absent   []string // substrings that must not appear
+	}{
+		{
+			name: "computed at snapshot time",
+			register: func(h *obs.Hooks, v *int64) {
+				h.GaugeFunc("g.live", func() int64 { return *v })
+				*v = 42 // after registration: the scrape must see this
+			},
+			want: []string{"g.live 42"},
+		},
+		{
+			name: "same-name registration replaces",
+			register: func(h *obs.Hooks, v *int64) {
+				h.GaugeFunc("g.dup", func() int64 { return 1 })
+				h.GaugeFunc("g.dup", func() int64 { return 2 })
+			},
+			want:   []string{"g.dup 2"},
+			absent: []string{"g.dup 1"},
+		},
+		{
+			name: "nil function ignored",
+			register: func(h *obs.Hooks, v *int64) {
+				h.GaugeFunc("g.nil", nil)
+				h.GaugeFunc("g.ok", func() int64 { return 7 })
+			},
+			want:   []string{"g.ok 7"},
+			absent: []string{"g.nil"},
+		},
+		{
+			name: "negative values render signed",
+			register: func(h *obs.Hooks, v *int64) {
+				h.GaugeFunc("g.neg", func() int64 { return -3 })
+			},
+			want: []string{"g.neg -3"},
+		},
+		{
+			name: "sorted with counters first",
+			register: func(h *obs.Hooks, v *int64) {
+				h.Count("a.counter", 5)
+				h.GaugeFunc("z.gauge", func() int64 { return 1 })
+				h.GaugeFunc("b.gauge", func() int64 { return 2 })
+			},
+			want: []string{"a.counter 5", "b.gauge 2", "z.gauge 1"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := obs.NewHooks(16, timing.NewFakeWall())
+			var v int64
+			tc.register(h, &v)
+			body := scrape(t, h, "/metrics")
+			lines := strings.Split(strings.TrimSpace(body), "\n")
+			seen := make(map[string]int, len(lines))
+			for i, l := range lines {
+				seen[l] = i
+			}
+			last := -1
+			for _, w := range tc.want {
+				i, ok := seen[w]
+				if !ok {
+					t.Errorf("missing line %q in:\n%s", w, body)
+					continue
+				}
+				if i < last {
+					t.Errorf("line %q out of sorted order", w)
+				}
+				last = i
+			}
+			for _, a := range tc.absent {
+				if strings.Contains(body, a) {
+					t.Errorf("unexpected %q in:\n%s", a, body)
+				}
+			}
+		})
+	}
+}
+
+// TestResidentGaugesOverHTTP registers the mem.resident.* gauges the
+// way kshotd does — backed by a live Physical — and asserts the
+// /metrics scrape tracks the shared/private frame split across a COW
+// fork writing to its pages.
+func TestResidentGaugesOverHTTP(t *testing.T) {
+	m := mem.New(1 << 20)
+	if _, err := m.Map("ram", 0, 1<<20, mem.Perms{Kernel: mem.PermRW}); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize two frames in the parent before forking.
+	if err := m.Write(mem.PrivKernel, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(mem.PrivKernel, mem.FrameSize, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	fork := m.Fork()
+
+	h := obs.NewHooks(16, timing.NewFakeWall())
+	h.GaugeFunc(obs.GaugeMemSharedBytes, func() int64 {
+		return int64(fork.ResidentStats().SharedBytes)
+	})
+	h.GaugeFunc(obs.GaugeMemPrivateBytes, func() int64 {
+		return int64(fork.ResidentStats().PrivateBytes)
+	})
+
+	wantLine := func(t *testing.T, body, name string, v uint64) {
+		t.Helper()
+		line := fmt.Sprintf("%s %d", name, v)
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, body)
+		}
+	}
+
+	// Fresh fork: everything resident is shared with the parent.
+	body := scrape(t, h, "/metrics")
+	wantLine(t, body, obs.GaugeMemSharedBytes, 2*mem.FrameSize)
+	wantLine(t, body, obs.GaugeMemPrivateBytes, 0)
+
+	// A write into the fork breaks one frame private; the gauges are
+	// GaugeFuncs, so the next scrape sees it with no re-registration.
+	if err := fork.Write(mem.PrivKernel, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	st := fork.ResidentStats()
+	if st.PrivateBytes == 0 {
+		t.Fatal("fork write did not break a frame private")
+	}
+	body = scrape(t, h, "/metrics")
+	wantLine(t, body, obs.GaugeMemSharedBytes, st.SharedBytes)
+	wantLine(t, body, obs.GaugeMemPrivateBytes, st.PrivateBytes)
+}

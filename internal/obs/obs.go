@@ -105,6 +105,13 @@ const (
 	CtrTemplateMisses = "template.cache.misses"
 	CtrTemplateForks  = "template.cache.forks"
 
+	// Introspection metrics (the event channel and the kernel-text
+	// detector sweeping it).
+	CtrIntrospectEvents     = "introspect.events"
+	CtrIntrospectDrops      = "introspect.drops"
+	CtrIntrospectSweeps     = "introspect.sweeps"
+	CtrIntrospectDetections = "introspect.detections"
+
 	// Snapshot-time gauges (GaugeFunc) for the resident-frame split of
 	// a machine's physical memory: shared frames are COW references to
 	// a template or snapshot, private ones are this machine's own
@@ -116,13 +123,14 @@ const (
 	// (e.g. "fault.smm.refuse").
 	FaultPrefix = "fault."
 
-	HistSMIPause        = "smi.pause_us"            // histogram: OS pause per SMI, µs
-	HistBatchSize       = "batch.size"              // histogram: members per delivered batch
-	HistAttempts        = "patch.attempts"          // histogram: delivery attempts per patch
-	HistDowntime        = "patch.downtime_us"       // histogram: per-patch SMM downtime, µs
-	HistBuildLatency    = "patchserver.build_us"    // histogram: double kernel build + diff, µs
-	HistTargetPause     = "rollout.target_pause_us" // histogram: virtual SMM pause per rollout target, µs
-	HistRolloutBaseline = "rollout.baseline_us"     // histogram: canary mean per-patch downtime, µs
+	HistSMIPause        = "smi.pause_us"                 // histogram: OS pause per SMI, µs
+	HistBatchSize       = "batch.size"                   // histogram: members per delivered batch
+	HistAttempts        = "patch.attempts"               // histogram: delivery attempts per patch
+	HistDowntime        = "patch.downtime_us"            // histogram: per-patch SMM downtime, µs
+	HistBuildLatency    = "patchserver.build_us"         // histogram: double kernel build + diff, µs
+	HistTargetPause     = "rollout.target_pause_us"      // histogram: virtual SMM pause per rollout target, µs
+	HistRolloutBaseline = "rollout.baseline_us"          // histogram: canary mean per-patch downtime, µs
+	HistDetectLatency   = "introspect.detect_latency_us" // histogram: tamper event → verdict, µs (wall)
 )
 
 // DefaultTraceCapacity is the event-log size commands use unless told

@@ -88,6 +88,7 @@ type Controller struct {
 	handlers map[Command]Handler
 	fi       *faultinject.Set
 	obs      *obs.Hooks
+	intr     Introspector
 
 	entries uint64        // SMIs dispatched
 	pause   time.Duration // total virtual OS-pause across all SMIs
@@ -203,6 +204,27 @@ func (c *Controller) SetObserver(h *obs.Hooks) {
 	c.obs = h
 }
 
+// Introspector receives SMI bracket events for the introspection
+// layer. smm deliberately does not import the introspect package;
+// introspect.Channel satisfies this interface and core wires it in.
+type Introspector interface {
+	// OnSMIEnter fires when an SMI is accepted, before the world
+	// switch pauses the machine.
+	OnSMIEnter(cmd uint8)
+
+	// OnSMIExit fires after the handler returns, while the machine is
+	// still paused; pause is the full virtual OS pause this SMI cost.
+	OnSMIExit(cmd uint8, pause time.Duration)
+}
+
+// SetIntrospector installs (or, with nil, removes) the introspection
+// sink notified on every SMI entry and exit.
+func (c *Controller) SetIntrospector(i Introspector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.intr = i
+}
+
 // Trigger raises an SMI with the given command and argument: the
 // machine pauses, all vCPU states are saved into the SMRAM save area,
 // the handler runs, states are restored from SMRAM, and the machine
@@ -213,6 +235,7 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 	h, ok := c.handlers[cmd]
 	fi := c.fi
 	ob := c.obs
+	intr := c.intr
 	c.mu.Unlock()
 
 	// Injected delivery refusal: the chipset drops the SMI before any
@@ -225,6 +248,9 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 	if ob != nil {
 		ob.Count(obs.CtrSMIEntries, 1)
 		ob.Span(obs.PhaseSMIEnter, fmt.Sprintf("smi:%#02x", uint8(cmd)), -1, c.model.SMMEntry, 0)
+	}
+	if intr != nil {
+		intr.OnSMIEnter(uint8(cmd))
 	}
 
 	c.machine.Pause()
@@ -243,6 +269,12 @@ func (c *Controller) Trigger(cmd Command, arg uint64) error {
 			// the OS observes exactly this much stolen time.
 			ob.Span(obs.PhaseResume, fmt.Sprintf("smi:%#02x", uint8(cmd)), -1, pause, 0)
 			ob.ObserveDur(obs.HistSMIPause, pause)
+		}
+		// Exit event fires while the machine is still paused (this
+		// deferred func runs before the Resume defer), so a tap here
+		// observes the exact post-handler, pre-resume state.
+		if intr != nil {
+			intr.OnSMIExit(uint8(cmd), pause)
 		}
 	}()
 

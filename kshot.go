@@ -59,6 +59,7 @@ import (
 
 	"kshot/internal/core"
 	"kshot/internal/cvebench"
+	"kshot/internal/introspect"
 	"kshot/internal/isa"
 	"kshot/internal/kcrypto"
 	"kshot/internal/kernel"
@@ -359,6 +360,41 @@ func WithTemplateCache(tc *TemplateCache) Option {
 			return newErr("WithTemplateCache", "nil cache")
 		}
 		o.TemplateCache = tc
+		return nil
+	}
+}
+
+// IntrospectConfig configures the event-driven kernel-text integrity
+// layer (see WithIntrospection). The zero value enables introspection
+// with defaults: a bounded event buffer, manual sweeps only, per-unit
+// step events disarmed.
+type IntrospectConfig = introspect.Config
+
+// IntrospectVerdict is one typed detection raised by the introspection
+// detector: kernel-text tampering, a stale-patch replay, or activeness
+// grooming. Harvest them via System.Introspection().Verdicts().
+type IntrospectVerdict = introspect.Verdict
+
+// WithIntrospection enables continuous kernel-text integrity
+// monitoring: cheap hooks in the memory, execution, and SMM layers
+// feed a typed, bounded, drop-counting event channel, and a detector
+// sweeps kernel.text against the last-known-good snapshot between
+// SMIs, classifying writes outside SMI windows, unannounced patch
+// SMIs, and activeness-check starvation into typed verdicts.
+// Introspection is off by default; disabled, the hooks cost one
+// predictable branch on paths that are already rare.
+func WithIntrospection(cfg IntrospectConfig) Option {
+	return func(o *Options) error {
+		if cfg.Capacity < 0 {
+			return newErr("WithIntrospection", "capacity must be >= 0, got %d", cfg.Capacity)
+		}
+		if cfg.SweepEvery < 0 {
+			return newErr("WithIntrospection", "sweep period must be >= 0, got %v", cfg.SweepEvery)
+		}
+		if cfg.GroomThreshold < 0 {
+			return newErr("WithIntrospection", "groom threshold must be >= 0, got %d", cfg.GroomThreshold)
+		}
+		o.Introspection = &cfg
 		return nil
 	}
 }

@@ -1,0 +1,92 @@
+package kshot
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles back to the
+// baseline (teardown is asynchronous), failing with a stack dump.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 { // slack for runtime helpers
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNewCtxCancelMidProvision pins the SystemProvisioner
+// ctx-threading fix: a cancelled provisioning context must surface
+// ctx.Err() from NewCtx, must not leak a template build, and must not
+// poison the template cache — the next provision with a live context
+// retries the boot and succeeds, and later provisions hit the cache.
+func TestNewCtxCancelMidProvision(t *testing.T) {
+	e, ok := LookupCVE("CVE-2014-0196")
+	if !ok {
+		t.Fatal("missing CVE-2014-0196")
+	}
+	srv, err := NewPatchServer(WithTreeProvider(TreeProviderFor(e)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.RegisterPatch(e.SourcePatch())
+
+	tc := NewTemplateCache()
+	t.Cleanup(tc.Close)
+	opts := []Option{
+		WithVersion("4.4"),
+		WithExtraFiles(map[string]string{e.File: e.Vuln}),
+		WithServerAddr(srv.Addr()),
+		WithTemplateCache(tc),
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys, err := NewCtx(ctx, opts...)
+	if err == nil {
+		sys.Close()
+		t.Fatal("NewCtx succeeded with a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewCtx error = %v, want ctx.Err()", err)
+	}
+	waitGoroutines(t, before)
+
+	// The failed boot must not be cached: the retry pays a second
+	// miss, not a poisoned hit.
+	if st := tc.Stats(); st.Misses != 1 || st.Hits != 0 || st.Forks != 0 {
+		t.Fatalf("cache stats after cancelled boot = %+v, want 1 miss and nothing cached", st)
+	}
+	sys, err = NewCtx(context.Background(), opts...)
+	if err != nil {
+		t.Fatalf("retry after cancelled boot: %v", err)
+	}
+	sys.Close()
+	if st := tc.Stats(); st.Misses != 2 || st.Forks != 1 {
+		t.Fatalf("cache stats after retry = %+v, want a second miss and one fork", st)
+	}
+
+	// With the template now cached, provisioning is hit + fork.
+	sys, err = NewCtx(context.Background(), opts...)
+	if err != nil {
+		t.Fatalf("cached provision: %v", err)
+	}
+	sys.Close()
+	if st := tc.Stats(); st.Hits != 1 || st.Forks != 2 {
+		t.Fatalf("cache stats after cached provision = %+v, want one hit and two forks", st)
+	}
+}
